@@ -1,0 +1,104 @@
+//! Per-access `OnCall` analysis cost per detector.
+//!
+//! This is the instrumentation-cost comparison the suite tables cannot
+//! show at millisecond scale: what one instrumented access costs under
+//! each strategy, with delay injection disabled (zero delay budget) so the
+//! numbers are pure analysis. Expected shape: Noop < DynamicRandom ≈
+//! DataCollider < TSVD < TSVD-HB — the paper's point that full vector-clock
+//! analysis is an order of magnitude more work per access than TSVD's
+//! near-miss bookkeeping.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tsvd_core::{ObjId, OpKind, Runtime, TsvdConfig};
+
+fn no_delay_config() -> TsvdConfig {
+    let mut c = TsvdConfig::for_testing();
+    // Zero budget: should_delay may fire but no sleep is ever admitted.
+    c.max_delay_per_run_ns = 0;
+    c
+}
+
+fn bench_detector(c: &mut Criterion, name: &str, rt: Arc<Runtime>) {
+    let site_a = tsvd_core::site!();
+    let site_b = tsvd_core::site!();
+    c.bench_function(&format!("oncall/{name}"), |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            // Alternate objects and sites so trackers do real work.
+            let obj = ObjId(1 + (i & 7));
+            let site = if i & 1 == 0 { site_a } else { site_b };
+            let kind = if i & 3 == 0 {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            };
+            rt.on_call(black_box(obj), site, "bench.op", kind);
+            i = i.wrapping_add(1);
+        })
+    });
+}
+
+fn bench_oncall(c: &mut Criterion) {
+    bench_detector(c, "noop", Runtime::noop(no_delay_config()));
+    bench_detector(
+        c,
+        "dynamic_random",
+        Runtime::dynamic_random(no_delay_config()),
+    );
+    bench_detector(c, "datacollider", Runtime::static_random(no_delay_config()));
+    bench_detector(c, "tsvd", Runtime::tsvd(no_delay_config()));
+    bench_detector(c, "tsvd_hb", Runtime::tsvd_hb(no_delay_config()));
+}
+
+/// The §2.3 traffic shape: synchronization operations (task forks, joins,
+/// ends) outnumber instrumented accesses. TSVD ignores the sync stream by
+/// design; TSVD-HB must run vector-clock transfers for every event — this
+/// is where its analysis overhead lives.
+fn bench_sync_heavy(c: &mut Criterion, name: &str, rt: Arc<Runtime>) {
+    use tsvd_core::context::ContextId;
+    use tsvd_core::SyncEvent;
+    let site = tsvd_core::site!();
+    c.bench_function(&format!("oncall_sync_heavy/{name}"), |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            // One access per four synchronization events (fork, end, join).
+            let parent = ContextId(1 + (i & 3));
+            let child = ContextId(1000 + (i & 255));
+            rt.on_sync(SyncEvent::Fork { parent, child });
+            rt.on_call(
+                black_box(ObjId(1 + (i & 7))),
+                site,
+                "bench.op",
+                OpKind::Write,
+            );
+            rt.on_sync(SyncEvent::TaskEnd { context: child });
+            rt.on_sync(SyncEvent::Join {
+                waiter: parent,
+                target: child,
+            });
+            i = i.wrapping_add(1);
+        })
+    });
+}
+
+fn bench_oncall_sync(c: &mut Criterion) {
+    bench_sync_heavy(c, "tsvd", Runtime::tsvd(no_delay_config()));
+    bench_sync_heavy(c, "tsvd_hb", Runtime::tsvd_hb(no_delay_config()));
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_oncall, bench_oncall_sync
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Vector-clock representation micro-benchmarks (§3.5).
+//!
+//! Regenerates the cost model behind TSVD-HB's immutable AVL-map clocks:
+//!
+//! - **send** (message-passing copy): `O(1)` by-reference for immutable
+//!   clocks vs. `O(n)` deep copy for mutable tables;
+//! - **increment**: `O(log n)` immutable vs. `O(1)` mutable — the trade
+//!   TSVD-HB accepts because increments only happen at TSVD points;
+//! - **join**: `O(1)` reference-equality fast path vs. element-wise max.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tsvd_vc::{ImmutableVc, MutableVc};
+
+fn build_imm(n: u64) -> ImmutableVc {
+    let mut vc = ImmutableVc::new();
+    for id in 0..n {
+        vc = vc.with(id, id + 1);
+    }
+    vc
+}
+
+fn build_mut(n: u64) -> MutableVc {
+    let mut vc = MutableVc::new();
+    for id in 0..n {
+        vc.set(id, id + 1);
+    }
+    vc
+}
+
+fn bench_send(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vc_send");
+    for &n in &[8u64, 64, 512] {
+        let imm = build_imm(n);
+        g.bench_with_input(BenchmarkId::new("immutable", n), &imm, |b, vc| {
+            b.iter(|| black_box(vc.clone()))
+        });
+        let mutable = build_mut(n);
+        g.bench_with_input(BenchmarkId::new("mutable", n), &mutable, |b, vc| {
+            b.iter(|| black_box(vc.clone()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_increment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vc_increment");
+    for &n in &[8u64, 64, 512] {
+        let imm = build_imm(n);
+        g.bench_with_input(BenchmarkId::new("immutable", n), &imm, |b, vc| {
+            b.iter(|| black_box(vc.increment(n / 2)))
+        });
+        g.bench_with_input(BenchmarkId::new("mutable", n), &n, |b, &n| {
+            let mut vc = build_mut(n);
+            b.iter(|| {
+                vc.increment(n / 2);
+                black_box(vc.get(n / 2))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vc_join");
+    for &n in &[8u64, 64, 512] {
+        // The fork/join-without-TSVD-points fast path: same object.
+        let a = build_imm(n);
+        let same = a.clone();
+        g.bench_with_input(BenchmarkId::new("immutable_ref_eq", n), &n, |b, _| {
+            b.iter(|| black_box(a.join(&same)))
+        });
+        // The general element-wise path.
+        let other = build_imm(n).increment(0);
+        g.bench_with_input(BenchmarkId::new("immutable_general", n), &n, |b, _| {
+            b.iter(|| black_box(a.join(&other)))
+        });
+        let ma = build_mut(n);
+        let mb = build_mut(n);
+        g.bench_with_input(BenchmarkId::new("mutable", n), &n, |b, _| {
+            b.iter(|| {
+                let mut x = ma.clone();
+                x.join_from(&mb);
+                black_box(x)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_send, bench_increment, bench_join
+}
+criterion_main!(benches);

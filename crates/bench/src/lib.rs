@@ -1,0 +1,2 @@
+//! Shared helpers for the Criterion benchmarks live in the individual
+//! bench targets; this library exists only to anchor the package.

@@ -1,0 +1,136 @@
+//! `BitArray`: instrumented fixed-size bit vector (the .NET `BitArray`
+//! analog).
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented bit vector with a reads-share/writes-exclusive
+    /// thread-safety contract.
+    BitArray<> wraps Vec<u64>
+}
+
+const WORD: usize = 64;
+
+impl BitArray {
+    /// Grows the array so it can hold at least `bits` bits (write API).
+    #[track_caller]
+    pub fn resize(&self, bits: usize) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "BitArray.resize", |v| {
+            v.resize(bits.div_ceil(WORD), 0);
+        });
+    }
+
+    /// Sets bit `index` to `value` (write API). Grows on demand.
+    #[track_caller]
+    pub fn set(&self, index: usize, value: bool) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "BitArray.set", |v| {
+            let word = index / WORD;
+            if word >= v.len() {
+                v.resize(word + 1, 0);
+            }
+            let mask = 1u64 << (index % WORD);
+            if value {
+                v[word] |= mask;
+            } else {
+                v[word] &= !mask;
+            }
+        });
+    }
+
+    /// Flips bit `index` (write API). Grows on demand.
+    #[track_caller]
+    pub fn flip(&self, index: usize) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "BitArray.flip", |v| {
+            let word = index / WORD;
+            if word >= v.len() {
+                v.resize(word + 1, 0);
+            }
+            v[word] ^= 1u64 << (index % WORD);
+        });
+    }
+
+    /// Clears all bits (write API).
+    #[track_caller]
+    pub fn clear_all(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "BitArray.clear_all", |v| {
+            v.iter_mut().for_each(|w| *w = 0)
+        });
+    }
+
+    /// Reads bit `index`; out-of-range bits read as `false` (read API).
+    #[track_caller]
+    pub fn get(&self, index: usize) -> bool {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "BitArray.get", |v| {
+            v.get(index / WORD)
+                .is_some_and(|w| w & (1u64 << (index % WORD)) != 0)
+        })
+    }
+
+    /// Number of set bits (read API).
+    #[track_caller]
+    pub fn count_ones(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "BitArray.count_ones", |v| {
+            v.iter().map(|w| w.count_ones() as usize).sum()
+        })
+    }
+
+    /// Capacity in bits (read API).
+    #[track_caller]
+    pub fn capacity(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "BitArray.capacity", |v| v.len() * WORD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    fn rt() -> std::sync::Arc<Runtime> {
+        Runtime::noop(TsvdConfig::for_testing())
+    }
+
+    #[test]
+    fn set_get_flip() {
+        let b = BitArray::new(&rt());
+        b.set(5, true);
+        assert!(b.get(5));
+        assert!(!b.get(4));
+        b.flip(5);
+        assert!(!b.get(5));
+        b.flip(100);
+        assert!(b.get(100));
+    }
+
+    #[test]
+    fn count_and_clear() {
+        let b = BitArray::new(&rt());
+        for i in [1usize, 63, 64, 200] {
+            b.set(i, true);
+        }
+        assert_eq!(b.count_ones(), 4);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn out_of_range_reads_false() {
+        let b = BitArray::new(&rt());
+        assert!(!b.get(10_000));
+    }
+
+    #[test]
+    fn resize_grows_capacity() {
+        let b = BitArray::new(&rt());
+        b.resize(130);
+        assert!(b.capacity() >= 130);
+    }
+}

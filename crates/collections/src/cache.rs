@@ -1,0 +1,172 @@
+//! `Cache<K, V>`: an instrumented memoization table.
+//!
+//! Models the compute-and-cache pattern of Fig. 3 (`getSqrt`): check the
+//! cache, compute on miss, store the result. The store is a write on a
+//! thread-unsafe table, so two concurrent misses on *different* keys are
+//! already a TSV — the misconception the paper's intro calls out.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented bounded memoization cache with a reads-share/
+    /// writes-exclusive thread-safety contract.
+    Cache<K, V> wraps CacheStorage<K, V>
+}
+
+/// Backing storage: map plus insertion order for FIFO eviction.
+pub struct CacheStorage<K, V> {
+    map: HashMap<K, V>,
+    order: std::collections::VecDeque<K>,
+    capacity: usize,
+}
+
+impl<K, V> Default for CacheStorage<K, V> {
+    fn default() -> Self {
+        CacheStorage {
+            map: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            capacity: usize::MAX,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
+    /// Bounds the cache to `capacity` entries with FIFO eviction
+    /// (write API).
+    #[track_caller]
+    pub fn set_capacity(&self, capacity: usize) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Cache.set_capacity", |c| {
+            c.capacity = capacity.max(1);
+            while c.map.len() > c.capacity {
+                if let Some(k) = c.order.pop_front() {
+                    c.map.remove(&k);
+                }
+            }
+        });
+    }
+
+    /// Looks up `key` (read API — the `ContainsKey`-then-fetch fast path).
+    #[track_caller]
+    pub fn get(&self, key: &K) -> Option<V> {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "Cache.get", |c| c.map.get(key).cloned())
+    }
+
+    /// Returns `true` if `key` is cached (read API).
+    #[track_caller]
+    pub fn contains_key(&self, key: &K) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "Cache.contains_key", |c| c.map.contains_key(key))
+    }
+
+    /// Stores `key → value`, evicting FIFO if over capacity (write API —
+    /// the `dict.Add(x, s)` of Fig. 3, line 9).
+    #[track_caller]
+    pub fn put(&self, key: K, value: V) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Cache.put", |c| {
+            if c.map.insert(key.clone(), value).is_none() {
+                c.order.push_back(key);
+            }
+            while c.map.len() > c.capacity {
+                if let Some(k) = c.order.pop_front() {
+                    c.map.remove(&k);
+                }
+            }
+        });
+    }
+
+    /// Drops `key` from the cache (write API).
+    #[track_caller]
+    pub fn invalidate(&self, key: &K) -> bool {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Cache.invalidate", |c| {
+            c.order.retain(|k| k != key);
+            c.map.remove(key).is_some()
+        })
+    }
+
+    /// Drops everything (write API).
+    #[track_caller]
+    pub fn clear(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Cache.clear", |c| {
+            c.map.clear();
+            c.order.clear();
+        });
+    }
+
+    /// Number of cached entries (read API).
+    #[track_caller]
+    pub fn len(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "Cache.len", |c| c.map.len())
+    }
+
+    /// Returns `true` if empty (read API).
+    #[track_caller]
+    pub fn is_empty(&self) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "Cache.is_empty", |c| c.map.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    fn rt() -> std::sync::Arc<Runtime> {
+        Runtime::noop(TsvdConfig::for_testing())
+    }
+
+    #[test]
+    fn put_get_invalidate() {
+        let c: Cache<u32, &str> = Cache::new(&rt());
+        c.put(1, "one");
+        assert!(c.contains_key(&1));
+        assert_eq!(c.get(&1), Some("one"));
+        assert!(c.invalidate(&1));
+        assert!(!c.invalidate(&1));
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn capacity_evicts_fifo() {
+        let c: Cache<u32, u32> = Cache::new(&rt());
+        c.set_capacity(2);
+        c.put(1, 1);
+        c.put(2, 2);
+        c.put(3, 3);
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains_key(&1), "oldest entry evicted first");
+        assert!(c.contains_key(&2));
+        assert!(c.contains_key(&3));
+    }
+
+    #[test]
+    fn overwrite_does_not_duplicate_order() {
+        let c: Cache<u32, u32> = Cache::new(&rt());
+        c.set_capacity(2);
+        c.put(1, 1);
+        c.put(1, 10);
+        c.put(2, 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(10));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let c: Cache<u32, u32> = Cache::new(&rt());
+        c.put(1, 1);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

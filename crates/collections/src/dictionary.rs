@@ -1,0 +1,192 @@
+//! `Dictionary<K, V>`: the analog of .NET's `Dictionary` — the data
+//! structure behind 55 % of the bugs TSVD found (Table 1), usually because
+//! developers assume that concurrent writes to *different keys* are safe
+//! (the Fig. 1 pattern). They are not: any write requires exclusivity.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented hash dictionary with a reads-share/writes-exclusive
+    /// thread-safety contract.
+    Dictionary<K, V> wraps HashMap<K, V>
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Dictionary<K, V> {
+    /// Adds `key → value` if absent; returns `false` if the key existed
+    /// (write API).
+    #[track_caller]
+    pub fn add(&self, key: K, value: V) -> bool {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Dictionary.add", |m| {
+            if let std::collections::hash_map::Entry::Vacant(e) = m.entry(key) {
+                e.insert(value);
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Inserts `key → value`, overwriting — the indexer-set analog
+    /// (write API).
+    #[track_caller]
+    pub fn set(&self, key: K, value: V) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Dictionary.set", |m| {
+            m.insert(key, value);
+        });
+    }
+
+    /// Removes `key`, returning its value (write API).
+    #[track_caller]
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "Dictionary.remove", |m| m.remove(key))
+    }
+
+    /// Removes every entry (write API).
+    #[track_caller]
+    pub fn clear(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Dictionary.clear", |m| m.clear());
+    }
+
+    /// Looks up `key` (read API — the indexer-get analog).
+    #[track_caller]
+    pub fn get(&self, key: &K) -> Option<V> {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "Dictionary.get", |m| m.get(key).cloned())
+    }
+
+    /// Returns `true` if `key` is present (read API — Fig. 1, line 5).
+    #[track_caller]
+    pub fn contains_key(&self, key: &K) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "Dictionary.contains_key", |m| m.contains_key(key))
+    }
+
+    /// Number of entries (read API).
+    #[track_caller]
+    pub fn len(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "Dictionary.len", |m| m.len())
+    }
+
+    /// Returns `true` if empty (read API).
+    #[track_caller]
+    pub fn is_empty(&self) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "Dictionary.is_empty", |m| m.is_empty())
+    }
+
+    /// Snapshot of the keys (read API).
+    #[track_caller]
+    pub fn keys(&self) -> Vec<K> {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "Dictionary.keys", |m| m.keys().cloned().collect())
+    }
+
+    /// Snapshot of the values (read API).
+    #[track_caller]
+    pub fn values(&self) -> Vec<V> {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "Dictionary.values", |m| m.values().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    fn rt() -> std::sync::Arc<Runtime> {
+        Runtime::noop(TsvdConfig::for_testing())
+    }
+
+    #[test]
+    fn add_get_remove() {
+        let d: Dictionary<u32, &str> = Dictionary::new(&rt());
+        assert!(d.add(1, "one"));
+        assert!(!d.add(1, "uno"), "add must not overwrite");
+        assert_eq!(d.get(&1), Some("one"));
+        d.set(1, "uno");
+        assert_eq!(d.get(&1), Some("uno"));
+        assert_eq!(d.remove(&1), Some("uno"));
+        assert_eq!(d.get(&1), None);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let d: Dictionary<u32, u32> = Dictionary::new(&rt());
+        assert!(d.is_empty());
+        for i in 0..10 {
+            d.add(i, i * i);
+        }
+        assert_eq!(d.len(), 10);
+        d.clear();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn keys_and_values_snapshot() {
+        let d: Dictionary<u32, u32> = Dictionary::new(&rt());
+        d.add(1, 10);
+        d.add(2, 20);
+        let mut keys = d.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2]);
+        let mut values = d.values();
+        values.sort_unstable();
+        assert_eq!(values, vec![10, 20]);
+    }
+
+    #[test]
+    fn handle_clone_shares_storage() {
+        let d: Dictionary<u32, u32> = Dictionary::new(&rt());
+        let d2 = d.clone();
+        d.add(7, 7);
+        assert_eq!(d2.get(&7), Some(7));
+        assert_eq!(d.obj_id(), d2.obj_id());
+    }
+
+    #[test]
+    fn every_call_reports_to_runtime() {
+        let rt = rt();
+        let d: Dictionary<u32, u32> = Dictionary::new(&rt);
+        d.add(1, 1);
+        d.get(&1);
+        d.contains_key(&1);
+        d.len();
+        assert_eq!(rt.stats().on_calls(), 4);
+    }
+
+    #[test]
+    fn unmonitored_dictionary_reports_nothing() {
+        let d: Dictionary<u32, u32> = Dictionary::unmonitored();
+        d.add(1, 1);
+        assert_eq!(d.get(&1), Some(1));
+    }
+
+    #[test]
+    fn sites_are_caller_locations() {
+        let rt = rt();
+        let d: Dictionary<u32, u32> = Dictionary::new(&rt);
+        d.add(1, 1);
+        let cov = rt.stats().coverage();
+        assert_eq!(cov.len(), 1);
+        assert!(
+            cov[0].0.data().file.ends_with("dictionary.rs"),
+            "site must point at this test file's call, got {}",
+            cov[0].0
+        );
+    }
+}

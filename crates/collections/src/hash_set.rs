@@ -1,0 +1,96 @@
+//! `HashSet<T>`: instrumented unordered set.
+
+use std::hash::Hash;
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented hash set with a reads-share/writes-exclusive
+    /// thread-safety contract.
+    HashSet<T> wraps std::collections::HashSet<T>
+}
+
+impl<T: Eq + Hash + Clone> HashSet<T> {
+    /// Inserts `value`; returns `false` if already present (write API).
+    #[track_caller]
+    pub fn add(&self, value: T) -> bool {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "HashSet.add", |s| s.insert(value))
+    }
+
+    /// Removes `value`; returns whether it was present (write API).
+    #[track_caller]
+    pub fn remove(&self, value: &T) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "HashSet.remove", |s| s.remove(value))
+    }
+
+    /// Removes every element (write API).
+    #[track_caller]
+    pub fn clear(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "HashSet.clear", |s| s.clear());
+    }
+
+    /// Returns `true` if `value` is present (read API).
+    #[track_caller]
+    pub fn contains(&self, value: &T) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "HashSet.contains", |s| s.contains(value))
+    }
+
+    /// Number of elements (read API).
+    #[track_caller]
+    pub fn len(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "HashSet.len", |s| s.len())
+    }
+
+    /// Returns `true` if empty (read API).
+    #[track_caller]
+    pub fn is_empty(&self) -> bool {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "HashSet.is_empty", |s| s.is_empty())
+    }
+
+    /// Snapshot of the elements (read API).
+    #[track_caller]
+    pub fn to_vec(&self) -> Vec<T> {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "HashSet.to_vec", |s| s.iter().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    #[test]
+    fn add_contains_remove() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let s: HashSet<u32> = HashSet::new(&rt);
+        assert!(s.add(1));
+        assert!(!s.add(1));
+        assert!(s.contains(&1));
+        assert!(s.remove(&1));
+        assert!(!s.remove(&1));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clear_and_snapshot() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let s: HashSet<u32> = HashSet::new(&rt);
+        s.add(1);
+        s.add(2);
+        let mut v = s.to_vec();
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 2]);
+        s.clear();
+        assert_eq!(s.len(), 0);
+    }
+}

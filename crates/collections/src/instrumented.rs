@@ -1,0 +1,178 @@
+//! The shared instrumentation shim between a collection wrapper and the
+//! runtime — the analog of the generated proxy methods of Fig. 7.
+
+use std::sync::Arc;
+
+use tsvd_core::{ObjId, OpKind, Runtime, SiteId};
+
+use crate::raw::RawCell;
+
+/// Instrumented storage: a [`RawCell`] plus an optional runtime hookup.
+///
+/// Collection wrappers hold an `Arc<Instrumented<C>>` (reference semantics,
+/// like .NET objects) and route every public method through [`write`] or
+/// [`read`], which report the access triple before touching storage.
+///
+/// [`write`]: Instrumented::write
+/// [`read`]: Instrumented::read
+pub struct Instrumented<C> {
+    raw: RawCell<C>,
+    runtime: Option<Arc<Runtime>>,
+    obj_id: ObjId,
+}
+
+/// Object identities are a process-global monotonic counter rather than the
+/// storage address: addresses are reused after free, and an aliased id
+/// would fabricate conflicts between unrelated short-lived objects (the
+/// hash-code-collision hazard the paper's `GetHashCode` identity also has,
+/// amplified by Rust's eager deallocation).
+fn next_obj_id() -> ObjId {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    ObjId(NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed))
+}
+
+impl<C> Instrumented<C> {
+    /// Creates instrumented storage reporting to `runtime`.
+    pub fn new(value: C, runtime: Arc<Runtime>) -> Arc<Self> {
+        Arc::new(Instrumented {
+            raw: RawCell::new(value),
+            runtime: Some(runtime),
+            obj_id: next_obj_id(),
+        })
+    }
+
+    /// Creates unmonitored storage (no `OnCall`s emitted).
+    pub fn unmonitored(value: C) -> Arc<Self> {
+        Arc::new(Instrumented {
+            raw: RawCell::new(value),
+            runtime: None,
+            obj_id: next_obj_id(),
+        })
+    }
+
+    /// This object's identity, as seen by the detector.
+    pub fn obj_id(self: &Arc<Self>) -> ObjId {
+        self.obj_id
+    }
+
+    /// Reports and performs a write-classified operation.
+    ///
+    /// The contract window opens *before* `on_call` — the instrumentation
+    /// (and any injected delay) runs inside the method, exactly like the
+    /// paper's generated proxies (Fig. 7) — so a trap caught red-handed is
+    /// also a physically witnessed window overlap.
+    pub fn write<R>(
+        self: &Arc<Self>,
+        site: SiteId,
+        op_name: &'static str,
+        f: impl FnOnce(&mut C) -> R,
+    ) -> R {
+        let section = self.raw.enter_write();
+        if let Some(rt) = &self.runtime {
+            rt.on_call(self.obj_id(), site, op_name, OpKind::Write);
+        }
+        section.perform(f)
+    }
+
+    /// Reports and performs a read-classified operation.
+    pub fn read<R>(
+        self: &Arc<Self>,
+        site: SiteId,
+        op_name: &'static str,
+        f: impl FnOnce(&C) -> R,
+    ) -> R {
+        let section = self.raw.enter_read();
+        if let Some(rt) = &self.runtime {
+            rt.on_call(self.obj_id(), site, op_name, OpKind::Read);
+        }
+        section.perform(f)
+    }
+
+    /// Returns `true` if a contract violation was physically observed.
+    pub fn is_corrupted(&self) -> bool {
+        self.raw.is_corrupted()
+    }
+}
+
+/// Generates the boilerplate shared by all collection wrappers: handle
+/// struct with reference (`Clone`) semantics, constructors, `obj_id`, and
+/// the corruption witness.
+macro_rules! collection_handle {
+    ($(#[$meta:meta])* $name:ident<$($g:ident),*> wraps $storage:ty) => {
+        $(#[$meta])*
+        pub struct $name<$($g),*> {
+            inner: std::sync::Arc<$crate::instrumented::Instrumented<$storage>>,
+        }
+
+        impl<$($g),*> Clone for $name<$($g),*> {
+            /// Clones the *handle*, not the data — reference semantics,
+            /// like a .NET object shared across threads.
+            fn clone(&self) -> Self {
+                Self { inner: self.inner.clone() }
+            }
+        }
+
+        impl<$($g),*> $name<$($g),*> {
+            /// Creates an empty instrumented collection reporting to `rt`.
+            pub fn new(rt: &std::sync::Arc<tsvd_core::Runtime>) -> Self {
+                Self {
+                    inner: $crate::instrumented::Instrumented::new(
+                        Default::default(),
+                        rt.clone(),
+                    ),
+                }
+            }
+
+            /// Creates an empty unmonitored collection.
+            pub fn unmonitored() -> Self {
+                Self {
+                    inner: $crate::instrumented::Instrumented::unmonitored(Default::default()),
+                }
+            }
+
+            /// The detector-visible identity of this object.
+            pub fn obj_id(&self) -> tsvd_core::ObjId {
+                self.inner.obj_id()
+            }
+
+            /// Returns `true` if a thread-safety-contract violation was
+            /// physically witnessed on this object.
+            pub fn is_corrupted(&self) -> bool {
+                self.inner.is_corrupted()
+            }
+        }
+    };
+}
+
+pub(crate) use collection_handle;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::TsvdConfig;
+
+    #[test]
+    fn write_and_read_report_to_runtime() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let cell = Instrumented::new(Vec::<u32>::new(), rt.clone());
+        cell.write(tsvd_core::site!(), "test.push", |v| v.push(1));
+        let len = cell.read(tsvd_core::site!(), "test.len", |v| v.len());
+        assert_eq!(len, 1);
+        assert_eq!(rt.stats().on_calls(), 2);
+    }
+
+    #[test]
+    fn unmonitored_storage_reports_nothing() {
+        let cell = Instrumented::unmonitored(0u32);
+        cell.write(tsvd_core::site!(), "test.set", |v| *v = 5);
+        assert_eq!(cell.read(tsvd_core::site!(), "test.get", |v| *v), 5);
+    }
+
+    #[test]
+    fn obj_id_is_stable_and_distinct() {
+        let a = Instrumented::unmonitored(0u32);
+        let b = Instrumented::unmonitored(0u32);
+        assert_eq!(a.obj_id(), a.obj_id());
+        assert_ne!(a.obj_id(), b.obj_id());
+    }
+}

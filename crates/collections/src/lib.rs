@@ -1,0 +1,69 @@
+//! Instrumented thread-unsafe collections.
+//!
+//! These are the Rust analogs of the 14 thread-unsafe .NET classes TSVD
+//! instruments (§4): each public method calls the runtime's `OnCall` with
+//! the access triple `(thread, object, call-site)` *before* performing the
+//! operation, exactly like the proxy methods the paper's binary rewriter
+//! injects (Fig. 7). The call-site is captured with `#[track_caller]`, so
+//! the reported location is the client code's line, not the wrapper's.
+//!
+//! ## Thread-safety contract and the corruption sentinel
+//!
+//! Like their .NET counterparts, these collections allow concurrent *reads*
+//! but require *writes* to be exclusive. Violating the contract in .NET is
+//! undefined behaviour (silent corruption); in Rust, actually racing on the
+//! underlying memory would be UB too, which a reproduction must not commit.
+//! Instead, each collection's storage sits behind [`raw::RawCell`]: an
+//! internal serialization lock that preserves *memory* safety, plus entry/
+//! exit counters that *observe* every contract violation physically. When a
+//! write overlaps another access the cell's `corrupted` flag latches — the
+//! semantic analog of .NET's silent corruption — so stress tests can
+//! witness real torn behaviour without undefined behaviour. The internal
+//! lock is an implementation detail invisible to detection: TSVD flags the
+//! *contract* violation (two threads inside conflicting methods), which is
+//! precisely what it detects in C#.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsvd_core::{Runtime, TsvdConfig};
+//! use tsvd_collections::Dictionary;
+//!
+//! let rt = Runtime::tsvd(TsvdConfig::for_testing());
+//! let dict: Dictionary<String, u32> = Dictionary::new(&rt);
+//! dict.add("one".to_string(), 1);
+//! assert_eq!(dict.get(&"one".to_string()), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod bit_array;
+pub mod cache;
+pub mod dictionary;
+pub mod hash_set;
+pub mod instrumented;
+pub mod linked_deque;
+pub mod list;
+pub mod multi_map;
+pub mod priority_queue;
+pub mod queue;
+pub mod raw;
+pub mod sorted_list;
+pub mod sorted_set;
+pub mod stack;
+pub mod string_builder;
+
+pub use bit_array::BitArray;
+pub use cache::Cache;
+pub use dictionary::Dictionary;
+pub use hash_set::HashSet;
+pub use linked_deque::LinkedDeque;
+pub use list::List;
+pub use multi_map::MultiMap;
+pub use priority_queue::PriorityQueue;
+pub use queue::Queue;
+pub use sorted_list::SortedList;
+pub use sorted_set::SortedSet;
+pub use stack::Stack;
+pub use string_builder::StringBuilder;

@@ -1,0 +1,114 @@
+//! `LinkedDeque<T>`: instrumented double-ended queue (the `LinkedList<T>`
+//! analog).
+
+use std::collections::VecDeque;
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented double-ended queue with a reads-share/
+    /// writes-exclusive thread-safety contract.
+    LinkedDeque<T> wraps VecDeque<T>
+}
+
+impl<T: Clone> LinkedDeque<T> {
+    /// Appends at the front (write API).
+    #[track_caller]
+    pub fn push_front(&self, value: T) {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "LinkedDeque.push_front", |d| d.push_front(value));
+    }
+
+    /// Appends at the back (write API).
+    #[track_caller]
+    pub fn push_back(&self, value: T) {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "LinkedDeque.push_back", |d| d.push_back(value));
+    }
+
+    /// Removes from the front (write API).
+    #[track_caller]
+    pub fn pop_front(&self) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "LinkedDeque.pop_front", |d| d.pop_front())
+    }
+
+    /// Removes from the back (write API).
+    #[track_caller]
+    pub fn pop_back(&self) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "LinkedDeque.pop_back", |d| d.pop_back())
+    }
+
+    /// Removes every element (write API).
+    #[track_caller]
+    pub fn clear(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "LinkedDeque.clear", |d| d.clear());
+    }
+
+    /// Front element (read API).
+    #[track_caller]
+    pub fn front(&self) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "LinkedDeque.front", |d| d.front().cloned())
+    }
+
+    /// Back element (read API).
+    #[track_caller]
+    pub fn back(&self) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "LinkedDeque.back", |d| d.back().cloned())
+    }
+
+    /// Number of elements (read API).
+    #[track_caller]
+    pub fn len(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "LinkedDeque.len", |d| d.len())
+    }
+
+    /// Returns `true` if empty (read API).
+    #[track_caller]
+    pub fn is_empty(&self) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "LinkedDeque.is_empty", |d| d.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    #[test]
+    fn both_ends_work() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let d: LinkedDeque<u32> = LinkedDeque::new(&rt);
+        d.push_back(2);
+        d.push_front(1);
+        d.push_back(3);
+        assert_eq!(d.front(), Some(1));
+        assert_eq!(d.back(), Some(3));
+        assert_eq!(d.pop_front(), Some(1));
+        assert_eq!(d.pop_back(), Some(3));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let d: LinkedDeque<u32> = LinkedDeque::new(&rt);
+        d.push_back(1);
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.pop_front(), None);
+    }
+}

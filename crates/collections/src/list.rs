@@ -1,0 +1,172 @@
+//! `List<T>`: the analog of .NET's `List<T>` — second most common bug home
+//! (37 % of Table 1), including the production-incident concurrent-sort.
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented growable array with a reads-share/writes-exclusive
+    /// thread-safety contract.
+    List<T> wraps Vec<T>
+}
+
+impl<T: Clone> List<T> {
+    /// Appends `value` (write API — Fig. 7's running example).
+    #[track_caller]
+    pub fn add(&self, value: T) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "List.add", |v| v.push(value));
+    }
+
+    /// Inserts `value` at `index` (write API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len`, matching `Vec::insert`.
+    #[track_caller]
+    pub fn insert(&self, index: usize, value: T) {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "List.insert", |v| v.insert(index, value));
+    }
+
+    /// Removes and returns the element at `index`, or `None` if out of
+    /// bounds (write API).
+    #[track_caller]
+    pub fn remove_at(&self, index: usize) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "List.remove_at", |v| {
+            (index < v.len()).then(|| v.remove(index))
+        })
+    }
+
+    /// Overwrites the element at `index`; returns `false` if out of bounds
+    /// (write API).
+    #[track_caller]
+    pub fn set(&self, index: usize, value: T) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "List.set", |v| match v.get_mut(index) {
+                Some(slot) => {
+                    *slot = value;
+                    true
+                }
+                None => false,
+            })
+    }
+
+    /// Removes every element (write API).
+    #[track_caller]
+    pub fn clear(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "List.clear", |v| v.clear());
+    }
+
+    /// Returns the element at `index` (read API).
+    #[track_caller]
+    pub fn get(&self, index: usize) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "List.get", |v| v.get(index).cloned())
+    }
+
+    /// Number of elements (read API).
+    #[track_caller]
+    pub fn len(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "List.len", |v| v.len())
+    }
+
+    /// Returns `true` if empty (read API).
+    #[track_caller]
+    pub fn is_empty(&self) -> bool {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "List.is_empty", |v| v.is_empty())
+    }
+
+    /// Snapshot of all elements (read API).
+    #[track_caller]
+    pub fn to_vec(&self) -> Vec<T> {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "List.to_vec", |v| v.clone())
+    }
+}
+
+impl<T: Clone + Ord> List<T> {
+    /// Sorts the list in place (write API) — the operation behind the
+    /// paper's §5.6 production incident, where two threads sorting one
+    /// list concurrently produced an undetermined order and took a service
+    /// down for hours.
+    #[track_caller]
+    pub fn sort(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "List.sort", |v| v.sort());
+    }
+
+    /// Returns `true` if `value` is present (read API).
+    #[track_caller]
+    pub fn contains(&self, value: &T) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "List.contains", |v| v.contains(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    fn rt() -> std::sync::Arc<Runtime> {
+        Runtime::noop(TsvdConfig::for_testing())
+    }
+
+    #[test]
+    fn add_get_set_remove() {
+        let l: List<u32> = List::new(&rt());
+        l.add(1);
+        l.add(2);
+        assert_eq!(l.get(0), Some(1));
+        assert!(l.set(0, 9));
+        assert!(!l.set(5, 9));
+        assert_eq!(l.remove_at(0), Some(9));
+        assert_eq!(l.remove_at(5), None);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn insert_and_to_vec() {
+        let l: List<u32> = List::new(&rt());
+        l.add(1);
+        l.add(3);
+        l.insert(1, 2);
+        assert_eq!(l.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sort_and_contains() {
+        let l: List<u32> = List::new(&rt());
+        for x in [3, 1, 2] {
+            l.add(x);
+        }
+        l.sort();
+        assert_eq!(l.to_vec(), vec![1, 2, 3]);
+        assert!(l.contains(&2));
+        assert!(!l.contains(&9));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let l: List<u32> = List::new(&rt());
+        l.add(1);
+        l.clear();
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn calls_are_reported() {
+        let rt = rt();
+        let l: List<u32> = List::new(&rt);
+        l.add(1);
+        l.len();
+        assert_eq!(rt.stats().on_calls(), 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! `MultiMap<K, V>`: instrumented one-to-many map (the .NET
+//! `NameValueCollection` / `Lookup` analog).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented key → many-values map with a reads-share/
+    /// writes-exclusive thread-safety contract.
+    MultiMap<K, V> wraps HashMap<K, Vec<V>>
+}
+
+impl<K: Eq + Hash + Clone, V: Clone + PartialEq> MultiMap<K, V> {
+    /// Appends `value` under `key` (write API).
+    #[track_caller]
+    pub fn add(&self, key: K, value: V) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "MultiMap.add", |m| {
+            m.entry(key).or_default().push(value)
+        });
+    }
+
+    /// Removes one occurrence of `value` under `key`; returns whether it
+    /// was present (write API).
+    #[track_caller]
+    pub fn remove_value(&self, key: &K, value: &V) -> bool {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "MultiMap.remove_value", |m| {
+            let Some(values) = m.get_mut(key) else {
+                return false;
+            };
+            let Some(idx) = values.iter().position(|v| v == value) else {
+                return false;
+            };
+            values.remove(idx);
+            if values.is_empty() {
+                m.remove(key);
+            }
+            true
+        })
+    }
+
+    /// Removes `key` and all its values (write API).
+    #[track_caller]
+    pub fn remove_key(&self, key: &K) -> Vec<V> {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "MultiMap.remove_key", |m| {
+            m.remove(key).unwrap_or_default()
+        })
+    }
+
+    /// Removes everything (write API).
+    #[track_caller]
+    pub fn clear(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "MultiMap.clear", |m| m.clear());
+    }
+
+    /// Snapshot of the values under `key` (read API).
+    #[track_caller]
+    pub fn get(&self, key: &K) -> Vec<V> {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "MultiMap.get", |m| {
+            m.get(key).cloned().unwrap_or_default()
+        })
+    }
+
+    /// Returns `true` if `key` has any values (read API).
+    #[track_caller]
+    pub fn contains_key(&self, key: &K) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "MultiMap.contains_key", |m| m.contains_key(key))
+    }
+
+    /// Number of keys (read API).
+    #[track_caller]
+    pub fn key_count(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "MultiMap.key_count", |m| m.len())
+    }
+
+    /// Total number of values across all keys (read API).
+    #[track_caller]
+    pub fn value_count(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "MultiMap.value_count", |m| {
+            m.values().map(Vec::len).sum()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    fn rt() -> std::sync::Arc<Runtime> {
+        Runtime::noop(TsvdConfig::for_testing())
+    }
+
+    #[test]
+    fn add_and_get_multiple() {
+        let m: MultiMap<&str, u32> = MultiMap::new(&rt());
+        m.add("a", 1);
+        m.add("a", 2);
+        m.add("b", 3);
+        assert_eq!(m.get(&"a"), vec![1, 2]);
+        assert_eq!(m.key_count(), 2);
+        assert_eq!(m.value_count(), 3);
+    }
+
+    #[test]
+    fn remove_value_cleans_empty_keys() {
+        let m: MultiMap<&str, u32> = MultiMap::new(&rt());
+        m.add("a", 1);
+        assert!(m.remove_value(&"a", &1));
+        assert!(!m.remove_value(&"a", &1));
+        assert!(!m.contains_key(&"a"));
+    }
+
+    #[test]
+    fn remove_key_returns_values() {
+        let m: MultiMap<&str, u32> = MultiMap::new(&rt());
+        m.add("a", 1);
+        m.add("a", 2);
+        assert_eq!(m.remove_key(&"a"), vec![1, 2]);
+        assert_eq!(m.remove_key(&"a"), Vec::<u32>::new());
+        m.add("b", 9);
+        m.clear();
+        assert_eq!(m.key_count(), 0);
+    }
+}

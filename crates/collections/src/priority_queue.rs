@@ -1,0 +1,89 @@
+//! `PriorityQueue<T>`: instrumented max-heap (the .NET `PriorityQueue`
+//! analog).
+
+use std::collections::BinaryHeap;
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented max-heap with a reads-share/writes-exclusive
+    /// thread-safety contract.
+    PriorityQueue<T> wraps BinaryHeap<T>
+}
+
+impl<T: Ord + Clone> PriorityQueue<T> {
+    /// Inserts `value` (write API).
+    #[track_caller]
+    pub fn push(&self, value: T) {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "PriorityQueue.push", |h| h.push(value));
+    }
+
+    /// Removes and returns the largest element (write API).
+    #[track_caller]
+    pub fn pop(&self) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "PriorityQueue.pop", |h| h.pop())
+    }
+
+    /// Removes every element (write API).
+    #[track_caller]
+    pub fn clear(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "PriorityQueue.clear", |h| h.clear());
+    }
+
+    /// Returns the largest element without removing it (read API).
+    #[track_caller]
+    pub fn peek(&self) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "PriorityQueue.peek", |h| h.peek().cloned())
+    }
+
+    /// Number of elements (read API).
+    #[track_caller]
+    pub fn len(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "PriorityQueue.len", |h| h.len())
+    }
+
+    /// Returns `true` if empty (read API).
+    #[track_caller]
+    pub fn is_empty(&self) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "PriorityQueue.is_empty", |h| h.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    #[test]
+    fn max_heap_order() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let q: PriorityQueue<u32> = PriorityQueue::new(&rt);
+        q.push(3);
+        q.push(9);
+        q.push(1);
+        assert_eq!(q.peek(), Some(9));
+        assert_eq!(q.pop(), Some(9));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let q: PriorityQueue<u32> = PriorityQueue::new(&rt);
+        q.push(1);
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

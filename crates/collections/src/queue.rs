@@ -1,0 +1,84 @@
+//! `Queue<T>`: instrumented FIFO queue.
+
+use std::collections::VecDeque;
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented FIFO queue with a reads-share/writes-exclusive
+    /// thread-safety contract.
+    Queue<T> wraps VecDeque<T>
+}
+
+impl<T: Clone> Queue<T> {
+    /// Appends `value` at the back (write API).
+    #[track_caller]
+    pub fn enqueue(&self, value: T) {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "Queue.enqueue", |q| q.push_back(value));
+    }
+
+    /// Removes and returns the front element (write API).
+    #[track_caller]
+    pub fn dequeue(&self) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Queue.dequeue", |q| q.pop_front())
+    }
+
+    /// Removes every element (write API).
+    #[track_caller]
+    pub fn clear(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Queue.clear", |q| q.clear());
+    }
+
+    /// Returns the front element without removing it (read API).
+    #[track_caller]
+    pub fn peek(&self) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "Queue.peek", |q| q.front().cloned())
+    }
+
+    /// Number of elements (read API).
+    #[track_caller]
+    pub fn len(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "Queue.len", |q| q.len())
+    }
+
+    /// Returns `true` if empty (read API).
+    #[track_caller]
+    pub fn is_empty(&self) -> bool {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "Queue.is_empty", |q| q.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    #[test]
+    fn fifo_order() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let q: Queue<u32> = Queue::new(&rt);
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.peek(), Some(1));
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let q: Queue<u32> = Queue::new(&rt);
+        q.enqueue(1);
+        assert_eq!(q.len(), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+}

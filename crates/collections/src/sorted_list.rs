@@ -1,0 +1,143 @@
+//! `SortedList<K, V>`: instrumented ordered map (the `SortedList` /
+//! `SortedDictionary` analog).
+
+use std::collections::BTreeMap;
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented ordered map with a reads-share/writes-exclusive
+    /// thread-safety contract.
+    SortedList<K, V> wraps BTreeMap<K, V>
+}
+
+impl<K: Ord + Clone, V: Clone> SortedList<K, V> {
+    /// Adds `key → value` if absent; returns `false` if the key existed
+    /// (write API).
+    #[track_caller]
+    pub fn add(&self, key: K, value: V) -> bool {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "SortedList.add", |m| {
+            if let std::collections::btree_map::Entry::Vacant(e) = m.entry(key) {
+                e.insert(value);
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Inserts `key → value`, overwriting (write API).
+    #[track_caller]
+    pub fn set(&self, key: K, value: V) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "SortedList.set", |m| {
+            m.insert(key, value);
+        });
+    }
+
+    /// Removes `key`, returning its value (write API).
+    #[track_caller]
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "SortedList.remove", |m| m.remove(key))
+    }
+
+    /// Removes every entry (write API).
+    #[track_caller]
+    pub fn clear(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "SortedList.clear", |m| m.clear());
+    }
+
+    /// Looks up `key` (read API).
+    #[track_caller]
+    pub fn get(&self, key: &K) -> Option<V> {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "SortedList.get", |m| m.get(key).cloned())
+    }
+
+    /// Returns `true` if `key` is present (read API).
+    #[track_caller]
+    pub fn contains_key(&self, key: &K) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "SortedList.contains_key", |m| m.contains_key(key))
+    }
+
+    /// Smallest entry (read API).
+    #[track_caller]
+    pub fn first(&self) -> Option<(K, V)> {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "SortedList.first", |m| {
+            m.iter().next().map(|(k, v)| (k.clone(), v.clone()))
+        })
+    }
+
+    /// Largest entry (read API).
+    #[track_caller]
+    pub fn last(&self) -> Option<(K, V)> {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "SortedList.last", |m| {
+            m.iter().next_back().map(|(k, v)| (k.clone(), v.clone()))
+        })
+    }
+
+    /// Number of entries (read API).
+    #[track_caller]
+    pub fn len(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "SortedList.len", |m| m.len())
+    }
+
+    /// Returns `true` if empty (read API).
+    #[track_caller]
+    pub fn is_empty(&self) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "SortedList.is_empty", |m| m.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    #[test]
+    fn ordering_is_maintained() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let m: SortedList<u32, &str> = SortedList::new(&rt);
+        m.add(3, "c");
+        m.add(1, "a");
+        m.add(2, "b");
+        assert_eq!(m.first(), Some((1, "a")));
+        assert_eq!(m.last(), Some((3, "c")));
+    }
+
+    #[test]
+    fn add_set_remove() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let m: SortedList<u32, u32> = SortedList::new(&rt);
+        assert!(m.add(1, 10));
+        assert!(!m.add(1, 11));
+        assert_eq!(m.get(&1), Some(10));
+        m.set(1, 11);
+        assert_eq!(m.get(&1), Some(11));
+        assert_eq!(m.remove(&1), Some(11));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn contains_len_clear() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let m: SortedList<u32, u32> = SortedList::new(&rt);
+        m.add(1, 1);
+        assert!(m.contains_key(&1));
+        assert_eq!(m.len(), 1);
+        m.clear();
+        assert!(!m.contains_key(&1));
+    }
+}

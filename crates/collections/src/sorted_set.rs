@@ -1,0 +1,116 @@
+//! `SortedSet<T>`: instrumented ordered set (the .NET `SortedSet` analog).
+
+use std::collections::BTreeSet;
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented ordered set with a reads-share/writes-exclusive
+    /// thread-safety contract.
+    SortedSet<T> wraps BTreeSet<T>
+}
+
+impl<T: Ord + Clone> SortedSet<T> {
+    /// Inserts `value`; returns `false` if already present (write API).
+    #[track_caller]
+    pub fn add(&self, value: T) -> bool {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "SortedSet.add", |s| s.insert(value))
+    }
+
+    /// Removes `value`; returns whether it was present (write API).
+    #[track_caller]
+    pub fn remove(&self, value: &T) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "SortedSet.remove", |s| s.remove(value))
+    }
+
+    /// Removes every element (write API).
+    #[track_caller]
+    pub fn clear(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "SortedSet.clear", |s| s.clear());
+    }
+
+    /// Returns `true` if `value` is present (read API).
+    #[track_caller]
+    pub fn contains(&self, value: &T) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "SortedSet.contains", |s| s.contains(value))
+    }
+
+    /// Smallest element (read API).
+    #[track_caller]
+    pub fn min(&self) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "SortedSet.min", |s| s.iter().next().cloned())
+    }
+
+    /// Largest element (read API).
+    #[track_caller]
+    pub fn max(&self) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "SortedSet.max", |s| s.iter().next_back().cloned())
+    }
+
+    /// Number of elements (read API).
+    #[track_caller]
+    pub fn len(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "SortedSet.len", |s| s.len())
+    }
+
+    /// Returns `true` if empty (read API).
+    #[track_caller]
+    pub fn is_empty(&self) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "SortedSet.is_empty", |s| s.is_empty())
+    }
+
+    /// Ascending snapshot (read API).
+    #[track_caller]
+    pub fn to_vec(&self) -> Vec<T> {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "SortedSet.to_vec", |s| s.iter().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    fn rt() -> std::sync::Arc<Runtime> {
+        Runtime::noop(TsvdConfig::for_testing())
+    }
+
+    #[test]
+    fn ordered_semantics() {
+        let s: SortedSet<u32> = SortedSet::new(&rt());
+        assert!(s.add(5));
+        assert!(s.add(1));
+        assert!(!s.add(5));
+        assert_eq!(s.min(), Some(1));
+        assert_eq!(s.max(), Some(5));
+        assert_eq!(s.to_vec(), vec![1, 5]);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let s: SortedSet<u32> = SortedSet::new(&rt());
+        s.add(1);
+        s.add(2);
+        assert!(s.remove(&1));
+        assert!(!s.remove(&1));
+        assert!(s.contains(&2));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! `Stack<T>`: instrumented LIFO stack.
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented LIFO stack with a reads-share/writes-exclusive
+    /// thread-safety contract.
+    Stack<T> wraps Vec<T>
+}
+
+impl<T: Clone> Stack<T> {
+    /// Pushes `value` on top (write API).
+    #[track_caller]
+    pub fn push(&self, value: T) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Stack.push", |s| s.push(value));
+    }
+
+    /// Pops the top element (write API).
+    #[track_caller]
+    pub fn pop(&self) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Stack.pop", |s| s.pop())
+    }
+
+    /// Removes every element (write API).
+    #[track_caller]
+    pub fn clear(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Stack.clear", |s| s.clear());
+    }
+
+    /// Returns the top element without removing it (read API).
+    #[track_caller]
+    pub fn peek(&self) -> Option<T> {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "Stack.peek", |s| s.last().cloned())
+    }
+
+    /// Number of elements (read API).
+    #[track_caller]
+    pub fn len(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "Stack.len", |s| s.len())
+    }
+
+    /// Returns `true` if empty (read API).
+    #[track_caller]
+    pub fn is_empty(&self) -> bool {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "Stack.is_empty", |s| s.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    #[test]
+    fn lifo_order() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let s: Stack<u32> = Stack::new(&rt);
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.peek(), Some(2));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let s: Stack<u32> = Stack::new(&rt);
+        s.push(1);
+        assert_eq!(s.len(), 1);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! `StringBuilder`: instrumented mutable string (the .NET `StringBuilder`
+//! analog).
+
+use crate::instrumented::collection_handle;
+
+collection_handle! {
+    /// An instrumented mutable string buffer with a reads-share/
+    /// writes-exclusive thread-safety contract.
+    StringBuilder<> wraps String
+}
+
+impl StringBuilder {
+    /// Appends `text` (write API).
+    #[track_caller]
+    pub fn append(&self, text: &str) {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "StringBuilder.append", |s| s.push_str(text));
+    }
+
+    /// Appends a single character (write API).
+    #[track_caller]
+    pub fn append_char(&self, c: char) {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "StringBuilder.append_char", |s| s.push(c));
+    }
+
+    /// Inserts `text` at byte offset `at` (write API).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not a char boundary, matching `String::insert_str`.
+    #[track_caller]
+    pub fn insert(&self, at: usize, text: &str) {
+        let site = tsvd_core::site!();
+        self.inner
+            .write(site, "StringBuilder.insert", |s| s.insert_str(at, text));
+    }
+
+    /// Clears the buffer (write API).
+    #[track_caller]
+    pub fn clear(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "StringBuilder.clear", |s| s.clear());
+    }
+
+    /// Snapshot of the contents (read API).
+    ///
+    /// Named after .NET's `StringBuilder.ToString`; the lint about a
+    /// `Display`-less inherent `to_string` is intentional here.
+    #[allow(clippy::inherent_to_string)]
+    #[track_caller]
+    pub fn to_string(&self) -> String {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "StringBuilder.to_string", |s| s.clone())
+    }
+
+    /// Length in bytes (read API).
+    #[track_caller]
+    pub fn len(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "StringBuilder.len", |s| s.len())
+    }
+
+    /// Returns `true` if empty (read API).
+    #[track_caller]
+    pub fn is_empty(&self) -> bool {
+        let site = tsvd_core::site!();
+        self.inner
+            .read(site, "StringBuilder.is_empty", |s| s.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    #[test]
+    fn append_and_read() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let sb = StringBuilder::new(&rt);
+        sb.append("hello");
+        sb.append_char(' ');
+        sb.append("world");
+        assert_eq!(sb.to_string(), "hello world");
+        assert_eq!(sb.len(), 11);
+    }
+
+    #[test]
+    fn insert_and_clear() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let sb = StringBuilder::new(&rt);
+        sb.append("ac");
+        sb.insert(1, "b");
+        assert_eq!(sb.to_string(), "abc");
+        sb.clear();
+        assert!(sb.is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Model-based property tests: every instrumented collection behaves
+//! exactly like its std model under arbitrary single-threaded operation
+//! sequences (the instrumentation must be semantically invisible).
+
+use proptest::prelude::*;
+use tsvd_collections::{BitArray, Dictionary, List, Queue, Stack};
+use tsvd_core::{Runtime, TsvdConfig};
+
+fn rt() -> std::sync::Arc<Runtime> {
+    Runtime::noop(TsvdConfig::for_testing())
+}
+
+#[derive(Debug, Clone)]
+enum DictOp {
+    Add(u8, u16),
+    Set(u8, u16),
+    Remove(u8),
+    Get(u8),
+    Contains(u8),
+    Clear,
+}
+
+fn dict_op() -> impl Strategy<Value = DictOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| DictOp::Add(k, v)),
+        (any::<u8>(), any::<u16>()).prop_map(|(k, v)| DictOp::Set(k, v)),
+        any::<u8>().prop_map(DictOp::Remove),
+        any::<u8>().prop_map(DictOp::Get),
+        any::<u8>().prop_map(DictOp::Contains),
+        Just(DictOp::Clear),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn dictionary_matches_hashmap(ops in proptest::collection::vec(dict_op(), 0..120)) {
+        let dict: Dictionary<u8, u16> = Dictionary::new(&rt());
+        let mut model = std::collections::HashMap::new();
+        for op in ops {
+            match op {
+                DictOp::Add(k, v) => {
+                    let expect = !model.contains_key(&k);
+                    if expect {
+                        model.insert(k, v);
+                    }
+                    prop_assert_eq!(dict.add(k, v), expect);
+                }
+                DictOp::Set(k, v) => {
+                    model.insert(k, v);
+                    dict.set(k, v);
+                }
+                DictOp::Remove(k) => {
+                    prop_assert_eq!(dict.remove(&k), model.remove(&k));
+                }
+                DictOp::Get(k) => {
+                    prop_assert_eq!(dict.get(&k), model.get(&k).copied());
+                }
+                DictOp::Contains(k) => {
+                    prop_assert_eq!(dict.contains_key(&k), model.contains_key(&k));
+                }
+                DictOp::Clear => {
+                    model.clear();
+                    dict.clear();
+                }
+            }
+            prop_assert_eq!(dict.len(), model.len());
+        }
+        prop_assert!(!dict.is_corrupted(), "single-threaded use is clean");
+    }
+
+    #[test]
+    fn list_matches_vec(ops in proptest::collection::vec((0u8..6, any::<u16>(), any::<u8>()), 0..120)) {
+        let list: List<u16> = List::new(&rt());
+        let mut model: Vec<u16> = Vec::new();
+        for (op, v, idx) in ops {
+            let i = if model.is_empty() { 0 } else { usize::from(idx) % (model.len() + 1) };
+            match op {
+                0 => {
+                    list.add(v);
+                    model.push(v);
+                }
+                1 => {
+                    list.insert(i, v);
+                    model.insert(i, v);
+                }
+                2 => {
+                    let expect = (i < model.len()).then(|| model.remove(i));
+                    prop_assert_eq!(list.remove_at(i), expect);
+                }
+                3 => {
+                    let expect = i < model.len();
+                    if expect {
+                        model[i] = v;
+                    }
+                    prop_assert_eq!(list.set(i, v), expect);
+                }
+                4 => {
+                    list.sort();
+                    model.sort();
+                }
+                _ => {
+                    prop_assert_eq!(list.get(i), model.get(i).copied());
+                }
+            }
+            prop_assert_eq!(list.len(), model.len());
+        }
+        prop_assert_eq!(list.to_vec(), model);
+    }
+
+    #[test]
+    fn queue_matches_vecdeque(ops in proptest::collection::vec((0u8..3, any::<u16>()), 0..120)) {
+        let queue: Queue<u16> = Queue::new(&rt());
+        let mut model = std::collections::VecDeque::new();
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    queue.enqueue(v);
+                    model.push_back(v);
+                }
+                1 => {
+                    prop_assert_eq!(queue.dequeue(), model.pop_front());
+                }
+                _ => {
+                    prop_assert_eq!(queue.peek(), model.front().copied());
+                }
+            }
+            prop_assert_eq!(queue.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn stack_matches_vec(ops in proptest::collection::vec((0u8..3, any::<u16>()), 0..120)) {
+        let stack: Stack<u16> = Stack::new(&rt());
+        let mut model: Vec<u16> = Vec::new();
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    stack.push(v);
+                    model.push(v);
+                }
+                1 => {
+                    prop_assert_eq!(stack.pop(), model.pop());
+                }
+                _ => {
+                    prop_assert_eq!(stack.peek(), model.last().copied());
+                }
+            }
+            prop_assert_eq!(stack.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn bit_array_matches_set_model(ops in proptest::collection::vec((0u8..3, 0usize..512), 0..150)) {
+        let bits = BitArray::new(&rt());
+        let mut model = std::collections::HashSet::new();
+        for (op, i) in ops {
+            match op {
+                0 => {
+                    bits.set(i, true);
+                    model.insert(i);
+                }
+                1 => {
+                    bits.set(i, false);
+                    model.remove(&i);
+                }
+                _ => {
+                    if model.contains(&i) {
+                        model.remove(&i);
+                    } else {
+                        model.insert(i);
+                    }
+                    bits.flip(i);
+                }
+            }
+            prop_assert_eq!(bits.count_ones(), model.len());
+        }
+        for i in 0..512 {
+            prop_assert_eq!(bits.get(i), model.contains(&i));
+        }
+    }
+
+    /// The API registry classifies every operation name the collections
+    /// actually report, with the kind the collection actually uses.
+    #[test]
+    fn reported_ops_are_registered(k in any::<u8>(), v in any::<u16>()) {
+        use tsvd_collections::api::classify;
+        use tsvd_core::OpKind;
+        let dict: Dictionary<u8, u16> = Dictionary::new(&rt());
+        dict.add(k, v);
+        dict.get(&k);
+        prop_assert_eq!(classify("Dictionary.add"), Some(OpKind::Write));
+        prop_assert_eq!(classify("Dictionary.get"), Some(OpKind::Read));
+    }
+}

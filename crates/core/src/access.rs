@@ -1,0 +1,111 @@
+//! Access triples: the only thing the detector observes about the program.
+//!
+//! The paper's `OnCall(thread_id, obj_id, op_id)` interface (Fig. 5) carries
+//! exactly this data. `op_id` is the static program location ([`SiteId`]),
+//! and each operation is classified as a read or a write by the thread-safety
+//! contract of the instrumented API (§2.2).
+
+use crate::context::ContextId;
+use crate::site::SiteId;
+
+/// Identity of the object being accessed.
+///
+/// Instrumented collections use the address of their interior storage, which
+/// plays the role of the paper's `GetHashCode()` object identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub u64);
+
+/// Read/write classification of an operation under the thread-safety
+/// contract.
+///
+/// Two concurrent operations violate the contract iff they target the same
+/// object from different threads and at least one of them is a [`Write`]
+/// (§2.2).
+///
+/// [`Write`]: OpKind::Write
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// An operation the contract allows concurrently with other reads.
+    Read,
+    /// An operation requiring exclusive access.
+    Write,
+}
+
+impl OpKind {
+    /// Returns `true` if operations of kind `self` and `other` conflict.
+    pub fn conflicts_with(self, other: OpKind) -> bool {
+        matches!(self, OpKind::Write) || matches!(other, OpKind::Write)
+    }
+}
+
+/// One dynamic access: a thread-unsafe API call observed by the runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct Access {
+    /// The execution context (thread or task) making the call.
+    pub context: ContextId,
+    /// The object being accessed.
+    pub obj: ObjId,
+    /// The static program location of the call (the TSVD point).
+    pub site: SiteId,
+    /// Human-readable operation name, e.g. `"Dictionary.add"`.
+    pub op_name: &'static str,
+    /// Read/write classification of the operation.
+    pub kind: OpKind,
+    /// Monotonic timestamp of the call, in nanoseconds.
+    pub time_ns: u64,
+}
+
+impl Access {
+    /// Returns `true` if `self` and `other` form a thread-safety violation
+    /// candidate: different contexts, same object, conflicting kinds.
+    ///
+    /// This is the paper's conflict predicate: `tid1 != tid2`,
+    /// `obj1 == obj2`, and at least one operation is a write.
+    pub fn conflicts_with(&self, other: &Access) -> bool {
+        self.context != other.context
+            && self.obj == other.obj
+            && self.kind.conflicts_with(other.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(ctx: u64, obj: u64, kind: OpKind) -> Access {
+        Access {
+            context: ContextId(ctx),
+            obj: ObjId(obj),
+            site: crate::site!(),
+            op_name: "test.op",
+            kind,
+            time_ns: 0,
+        }
+    }
+
+    #[test]
+    fn write_write_conflicts() {
+        assert!(acc(1, 7, OpKind::Write).conflicts_with(&acc(2, 7, OpKind::Write)));
+    }
+
+    #[test]
+    fn read_write_conflicts_both_ways() {
+        assert!(acc(1, 7, OpKind::Read).conflicts_with(&acc(2, 7, OpKind::Write)));
+        assert!(acc(1, 7, OpKind::Write).conflicts_with(&acc(2, 7, OpKind::Read)));
+    }
+
+    #[test]
+    fn read_read_does_not_conflict() {
+        assert!(!acc(1, 7, OpKind::Read).conflicts_with(&acc(2, 7, OpKind::Read)));
+    }
+
+    #[test]
+    fn same_context_never_conflicts() {
+        assert!(!acc(1, 7, OpKind::Write).conflicts_with(&acc(1, 7, OpKind::Write)));
+    }
+
+    #[test]
+    fn different_objects_never_conflict() {
+        assert!(!acc(1, 7, OpKind::Write).conflicts_with(&acc(2, 8, OpKind::Write)));
+    }
+}

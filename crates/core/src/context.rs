@@ -1,0 +1,104 @@
+//! Execution-context identities.
+//!
+//! The paper's `thread_id` distinguishes concurrent executors. In a
+//! task-parallel program the natural unit is the *task*, not the OS thread:
+//! two tasks multiplexed onto one pool thread never overlap in time, while
+//! fork/join happens-before edges connect tasks. The task substrate
+//! (`tsvd-tasks`) therefore installs a logical context id for the duration of
+//! each task; code running outside any task gets a per-OS-thread id.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of an execution context (an OS thread or a logical task).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContextId(pub u64);
+
+impl fmt::Display for ContextId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx#{}", self.0)
+    }
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_DEFAULT: ContextId = ContextId(NEXT_ID.fetch_add(1, Ordering::Relaxed));
+    static CURRENT: Cell<Option<ContextId>> = const { Cell::new(None) };
+}
+
+/// Allocates a fresh context id (used by the task substrate for each task).
+pub fn fresh_id() -> ContextId {
+    ContextId(NEXT_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Returns the context id of the calling thread: the installed task context
+/// if inside [`enter`], otherwise this OS thread's stable default id.
+pub fn current() -> ContextId {
+    CURRENT.with(|c| match c.get() {
+        Some(id) => id,
+        None => THREAD_DEFAULT.with(|d| *d),
+    })
+}
+
+/// Installs `id` as the current context until the returned guard drops.
+///
+/// Nested entries restore the previous context on drop, so a task that
+/// synchronously runs a child task keeps correct attribution.
+pub fn enter(id: ContextId) -> ContextGuard {
+    let prev = CURRENT.with(|c| c.replace(Some(id)));
+    ContextGuard { prev }
+}
+
+/// Guard restoring the previous context id on drop. See [`enter`].
+pub struct ContextGuard {
+    prev: Option<ContextId>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_default_is_stable() {
+        assert_eq!(current(), current());
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_defaults() {
+        let here = current();
+        let there = std::thread::spawn(current).join().expect("no panic");
+        assert_ne!(here, there);
+    }
+
+    #[test]
+    fn enter_overrides_and_restores() {
+        let outer = current();
+        let task = fresh_id();
+        {
+            let _g = enter(task);
+            assert_eq!(current(), task);
+            let nested = fresh_id();
+            {
+                let _g2 = enter(nested);
+                assert_eq!(current(), nested);
+            }
+            assert_eq!(current(), task, "nested guard restores enclosing task");
+        }
+        assert_eq!(current(), outer, "outer guard restores thread default");
+    }
+
+    #[test]
+    fn fresh_ids_are_unique() {
+        let a = fresh_id();
+        let b = fresh_id();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,152 @@
+//! Delay-probability decay (§3.4.5).
+//!
+//! Every program location in the trap set carries a probability `P_loc` of
+//! receiving a delay. `P_loc` starts at 1 when a dangerous pair containing
+//! the location is added, and decays multiplicatively after each injected
+//! delay that fails to catch a violation: `P ← P · (1 − decay_factor)`.
+//! When `P_loc` falls below the floor, the location — and all its pairs —
+//! leaves the trap set. A decay factor of 0 disables decay, the pathological
+//! configuration of Fig. 9 (g) that can blow overhead up by 66×.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::site::SiteId;
+
+/// Per-location delay probabilities with multiplicative decay.
+pub struct DecayTable {
+    probs: Mutex<HashMap<SiteId, f64>>,
+    factor: f64,
+    floor: f64,
+}
+
+impl DecayTable {
+    /// Creates a table with the given decay factor and removal floor.
+    pub fn new(factor: f64, floor: f64) -> Self {
+        DecayTable {
+            probs: Mutex::new(HashMap::new()),
+            factor: factor.clamp(0.0, 1.0),
+            floor: floor.clamp(0.0, 1.0),
+        }
+    }
+
+    /// (Re)arms `site` at probability 1. Called when a dangerous pair
+    /// containing `site` enters the trap set.
+    pub fn arm(&self, site: SiteId) {
+        self.probs.lock().insert(site, 1.0);
+    }
+
+    /// Returns the current delay probability of `site` (0 if unknown).
+    pub fn probability(&self, site: SiteId) -> f64 {
+        self.probs.lock().get(&site).copied().unwrap_or(0.0)
+    }
+
+    /// Applies one decay step to `site` after a fruitless delay.
+    ///
+    /// Returns `true` if the probability dropped below the floor and the
+    /// caller should evict the location's pairs from the trap set.
+    pub fn decay(&self, site: SiteId) -> bool {
+        let mut probs = self.probs.lock();
+        let Some(p) = probs.get_mut(&site) else {
+            return false;
+        };
+        *p *= 1.0 - self.factor;
+        if *p < self.floor && self.factor > 0.0 {
+            probs.remove(&site);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `site` outright (e.g. a violation was already found there).
+    pub fn remove(&self, site: SiteId) {
+        self.probs.lock().remove(&site);
+    }
+
+    /// Number of armed locations (stats).
+    pub fn armed_count(&self) -> usize {
+        self.probs.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SiteData;
+
+    fn site(n: u32) -> SiteId {
+        SiteId::intern(SiteData {
+            file: "decay_test.rs",
+            line: n,
+            column: 1,
+        })
+    }
+
+    #[test]
+    fn unknown_site_has_zero_probability() {
+        let t = DecayTable::new(0.5, 0.05);
+        assert_eq!(t.probability(site(1)), 0.0);
+    }
+
+    #[test]
+    fn armed_site_starts_at_one() {
+        let t = DecayTable::new(0.5, 0.05);
+        t.arm(site(1));
+        assert_eq!(t.probability(site(1)), 1.0);
+    }
+
+    #[test]
+    fn decay_halves_probability() {
+        let t = DecayTable::new(0.5, 0.05);
+        t.arm(site(1));
+        assert!(!t.decay(site(1)));
+        assert!((t.probability(site(1)) - 0.5).abs() < 1e-12);
+        assert!(!t.decay(site(1)));
+        assert!((t.probability(site(1)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_below_floor_evicts() {
+        let t = DecayTable::new(0.5, 0.3);
+        t.arm(site(1));
+        assert!(!t.decay(site(1))); // 0.5
+        assert!(t.decay(site(1))); // 0.25 < 0.3 → evict
+        assert_eq!(t.probability(site(1)), 0.0);
+    }
+
+    #[test]
+    fn zero_factor_never_decays() {
+        let t = DecayTable::new(0.0, 0.05);
+        t.arm(site(1));
+        for _ in 0..100 {
+            assert!(!t.decay(site(1)));
+        }
+        assert_eq!(t.probability(site(1)), 1.0);
+    }
+
+    #[test]
+    fn rearming_resets_probability() {
+        let t = DecayTable::new(0.5, 0.05);
+        t.arm(site(1));
+        t.decay(site(1));
+        t.arm(site(1));
+        assert_eq!(t.probability(site(1)), 1.0);
+    }
+
+    #[test]
+    fn decay_on_unknown_site_is_noop() {
+        let t = DecayTable::new(0.5, 0.05);
+        assert!(!t.decay(site(42)));
+    }
+
+    #[test]
+    fn remove_clears_site() {
+        let t = DecayTable::new(0.5, 0.05);
+        t.arm(site(1));
+        t.remove(site(1));
+        assert_eq!(t.probability(site(1)), 0.0);
+        assert_eq!(t.armed_count(), 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Near-miss tracking (§3.4.2).
+//!
+//! TSVD keeps, per object, a short history of recent accesses. An incoming
+//! access that conflicts with a history entry from a different context within
+//! the physical window `T_nm` is a *near miss*: the pair of static program
+//! locations involved becomes a dangerous-pair candidate that delay injection
+//! will later try to convert into a real, caught violation.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+use parking_lot::Mutex;
+
+use crate::access::{Access, ObjId, OpKind};
+use crate::context::ContextId;
+use crate::site::SiteId;
+
+/// An unordered pair of static program locations.
+///
+/// This is the paper's unit of bug identity and of trap-set membership: the
+/// pair is normalized so `{a, b}` and `{b, a}` compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SitePair {
+    /// The smaller site of the pair.
+    pub first: SiteId,
+    /// The larger site of the pair (may equal `first`: 34 % of the paper's
+    /// bugs are two threads executing the *same* location).
+    pub second: SiteId,
+}
+
+impl SitePair {
+    /// Builds a normalized pair.
+    pub fn new(a: SiteId, b: SiteId) -> SitePair {
+        if a <= b {
+            SitePair {
+                first: a,
+                second: b,
+            }
+        } else {
+            SitePair {
+                first: b,
+                second: a,
+            }
+        }
+    }
+
+    /// Returns `true` if `site` is one of the endpoints.
+    pub fn contains(&self, site: SiteId) -> bool {
+        self.first == site || self.second == site
+    }
+
+    /// Returns the endpoint other than `site` (or `site` itself for a
+    /// same-location pair).
+    pub fn other(&self, site: SiteId) -> SiteId {
+        if self.first == site {
+            self.second
+        } else {
+            self.first
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HistEntry {
+    context: ContextId,
+    site: SiteId,
+    kind: OpKind,
+    time_ns: u64,
+}
+
+/// Per-object bounded access history with near-miss extraction.
+pub struct NearMissTracker {
+    per_obj: Mutex<HashMap<ObjId, VecDeque<HistEntry>>>,
+    /// `N_nm`: entries kept per object.
+    history: usize,
+    /// `T_nm` in nanoseconds; `None` disables windowing (Table 3 ablation).
+    window_ns: Option<u64>,
+    /// Bound on distinct objects tracked.
+    max_objects: usize,
+}
+
+impl NearMissTracker {
+    /// Creates a tracker keeping `history` entries per object and treating
+    /// conflicting accesses within `window_ns` as near misses. Passing
+    /// `None` for `window_ns` disables the window (ablation mode): any two
+    /// conflicting accesses in the retained history form a near miss.
+    pub fn new(history: usize, window_ns: Option<u64>, max_objects: usize) -> Self {
+        NearMissTracker {
+            per_obj: Mutex::new(HashMap::new()),
+            history: history.max(1),
+            window_ns,
+            max_objects: max_objects.max(1),
+        }
+    }
+
+    /// Records `access` and returns the dangerous pairs it forms with
+    /// retained history entries (deduplicated within this call).
+    pub fn record(&self, access: &Access) -> Vec<SitePair> {
+        let mut per_obj = self.per_obj.lock();
+        // Memory bound: drop everything if the object table grows past the
+        // cap. Near misses are short-lived, so a reset only costs a few
+        // rediscoveries.
+        if per_obj.len() >= self.max_objects && !per_obj.contains_key(&access.obj) {
+            per_obj.clear();
+        }
+        let entry = match per_obj.entry(access.obj) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => e.insert(VecDeque::with_capacity(self.history)),
+        };
+
+        let mut pairs = Vec::new();
+        for prev in entry.iter() {
+            if prev.context == access.context {
+                continue;
+            }
+            if !prev.kind.conflicts_with(access.kind) {
+                continue;
+            }
+            if let Some(window) = self.window_ns {
+                if access.time_ns.abs_diff(prev.time_ns) > window {
+                    continue;
+                }
+            }
+            let pair = SitePair::new(prev.site, access.site);
+            if !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+
+        entry.push_back(HistEntry {
+            context: access.context,
+            site: access.site,
+            kind: access.kind,
+            time_ns: access.time_ns,
+        });
+        while entry.len() > self.history {
+            entry.pop_front();
+        }
+        pairs
+    }
+
+    /// Approximate number of bytes retained (for the §5.5 resource report).
+    pub fn approx_bytes(&self) -> usize {
+        let per_obj = self.per_obj.lock();
+        per_obj.len() * std::mem::size_of::<(ObjId, VecDeque<HistEntry>)>()
+            + per_obj
+                .values()
+                .map(|v| v.capacity() * std::mem::size_of::<HistEntry>())
+                .sum::<usize>()
+    }
+
+    /// Number of objects currently tracked.
+    pub fn tracked_objects(&self) -> usize {
+        self.per_obj.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::{SiteData, SiteId};
+
+    fn site(n: u32) -> SiteId {
+        SiteId::intern(SiteData {
+            file: "near_miss_test.rs",
+            line: n,
+            column: 1,
+        })
+    }
+
+    fn acc(ctx: u64, obj: u64, s: SiteId, kind: OpKind, t_ms: u64) -> Access {
+        Access {
+            context: ContextId(ctx),
+            obj: ObjId(obj),
+            site: s,
+            op_name: "t.op",
+            kind,
+            time_ns: t_ms * 1_000_000,
+        }
+    }
+
+    fn tracker() -> NearMissTracker {
+        NearMissTracker::new(5, Some(100 * 1_000_000), 1024)
+    }
+
+    #[test]
+    fn conflicting_accesses_within_window_pair_up() {
+        let t = tracker();
+        assert!(t.record(&acc(1, 7, site(1), OpKind::Write, 0)).is_empty());
+        let pairs = t.record(&acc(2, 7, site(2), OpKind::Read, 50));
+        assert_eq!(pairs, vec![SitePair::new(site(1), site(2))]);
+    }
+
+    #[test]
+    fn outside_window_is_not_a_near_miss() {
+        let t = tracker();
+        t.record(&acc(1, 7, site(1), OpKind::Write, 0));
+        let pairs = t.record(&acc(2, 7, site(2), OpKind::Write, 500));
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn same_context_is_not_a_near_miss() {
+        let t = tracker();
+        t.record(&acc(1, 7, site(1), OpKind::Write, 0));
+        assert!(t.record(&acc(1, 7, site(2), OpKind::Write, 1)).is_empty());
+    }
+
+    #[test]
+    fn read_read_is_not_a_near_miss() {
+        let t = tracker();
+        t.record(&acc(1, 7, site(1), OpKind::Read, 0));
+        assert!(t.record(&acc(2, 7, site(2), OpKind::Read, 1)).is_empty());
+    }
+
+    #[test]
+    fn different_objects_do_not_pair() {
+        let t = tracker();
+        t.record(&acc(1, 7, site(1), OpKind::Write, 0));
+        assert!(t.record(&acc(2, 8, site(2), OpKind::Write, 1)).is_empty());
+    }
+
+    #[test]
+    fn same_site_pair_is_allowed() {
+        // 34 % of the paper's bugs are two threads at one location.
+        let t = tracker();
+        t.record(&acc(1, 7, site(9), OpKind::Write, 0));
+        let pairs = t.record(&acc(2, 7, site(9), OpKind::Write, 1));
+        assert_eq!(pairs, vec![SitePair::new(site(9), site(9))]);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let t = NearMissTracker::new(2, Some(100 * 1_000_000), 1024);
+        t.record(&acc(1, 7, site(1), OpKind::Write, 0));
+        t.record(&acc(1, 7, site(2), OpKind::Write, 1));
+        t.record(&acc(1, 7, site(3), OpKind::Write, 2));
+        // site(1) has been evicted (history = 2), so only 2 pairs form.
+        let pairs = t.record(&acc(2, 7, site(4), OpKind::Write, 3));
+        assert_eq!(pairs.len(), 2);
+        assert!(!pairs.contains(&SitePair::new(site(1), site(4))));
+    }
+
+    #[test]
+    fn windowless_mode_pairs_regardless_of_age() {
+        let t = NearMissTracker::new(5, None, 1024);
+        t.record(&acc(1, 7, site(1), OpKind::Write, 0));
+        let pairs = t.record(&acc(2, 7, site(2), OpKind::Write, 60_000));
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn multiple_history_hits_dedup_within_call() {
+        let t = tracker();
+        t.record(&acc(1, 7, site(1), OpKind::Write, 0));
+        t.record(&acc(1, 7, site(1), OpKind::Write, 1));
+        let pairs = t.record(&acc(2, 7, site(2), OpKind::Write, 2));
+        assert_eq!(pairs.len(), 1, "same pair reported once per call");
+    }
+
+    #[test]
+    fn object_table_is_bounded() {
+        let t = NearMissTracker::new(5, Some(100 * 1_000_000), 4);
+        for obj in 0..16u64 {
+            t.record(&acc(1, obj, site(1), OpKind::Write, 0));
+        }
+        assert!(t.tracked_objects() <= 4);
+    }
+
+    #[test]
+    fn pair_normalization() {
+        let p1 = SitePair::new(site(2), site(1));
+        let p2 = SitePair::new(site(1), site(2));
+        assert_eq!(p1, p2);
+        assert!(p1.contains(site(1)));
+        assert_eq!(p1.other(site(1)), site(2));
+        assert_eq!(p1.other(site(2)), site(1));
+    }
+}

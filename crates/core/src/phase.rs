@@ -1,0 +1,115 @@
+//! Concurrent-phase inference (§3.4.3).
+//!
+//! Synchronization such as forks, joins, barriers, and locks creates
+//! sequential phases (initialization, clean-up, join-after-fork) in which a
+//! TSVD point can never race. TSVD infers whether the program is currently
+//! in a concurrent phase *without monitoring any synchronization*: it keeps a
+//! global ring buffer of the contexts that executed the most recent TSVD
+//! points, and calls the execution concurrent iff that buffer contains more
+//! than one distinct context.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+use crate::context::ContextId;
+
+/// Ring buffer of the contexts behind the most recent TSVD points.
+pub struct PhaseBuffer {
+    inner: Mutex<VecDeque<ContextId>>,
+    capacity: usize,
+}
+
+impl PhaseBuffer {
+    /// Creates a buffer holding the last `capacity` TSVD points.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        PhaseBuffer {
+            inner: Mutex::new(VecDeque::with_capacity(capacity)),
+            capacity,
+        }
+    }
+
+    /// Records that `context` just executed a TSVD point and returns whether
+    /// the execution is currently in a concurrent phase.
+    pub fn record_and_check(&self, context: ContextId) -> bool {
+        let mut buf = self.inner.lock();
+        buf.push_back(context);
+        while buf.len() > self.capacity {
+            buf.pop_front();
+        }
+        let first = buf[0];
+        buf.iter().any(|&c| c != first)
+    }
+
+    /// Returns whether the buffer currently indicates a concurrent phase,
+    /// without recording anything.
+    pub fn is_concurrent(&self) -> bool {
+        let buf = self.inner.lock();
+        match buf.front() {
+            None => false,
+            Some(&first) => buf.iter().any(|&c| c != first),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_buffer_is_sequential() {
+        let b = PhaseBuffer::new(4);
+        assert!(!b.is_concurrent());
+    }
+
+    #[test]
+    fn single_context_is_sequential() {
+        let b = PhaseBuffer::new(4);
+        for _ in 0..10 {
+            assert!(!b.record_and_check(ContextId(1)));
+        }
+    }
+
+    #[test]
+    fn two_contexts_are_concurrent() {
+        let b = PhaseBuffer::new(4);
+        b.record_and_check(ContextId(1));
+        assert!(b.record_and_check(ContextId(2)));
+        assert!(b.is_concurrent());
+    }
+
+    #[test]
+    fn old_context_scrolls_out() {
+        // A burst from one context flushes the other out of the window: the
+        // execution has gone sequential again (e.g. after a join).
+        let b = PhaseBuffer::new(4);
+        b.record_and_check(ContextId(1));
+        b.record_and_check(ContextId(2));
+        for _ in 0..3 {
+            b.record_and_check(ContextId(2));
+        }
+        assert!(
+            !b.is_concurrent(),
+            "context 1 should have scrolled out of the 4-entry window"
+        );
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        let b = PhaseBuffer::new(8);
+        for i in 0..100 {
+            b.record_and_check(ContextId(i % 2));
+        }
+        assert!(b.inner.lock().len() <= 8);
+    }
+
+    #[test]
+    fn minimum_capacity_is_two() {
+        // A buffer of one could never see two contexts; the constructor
+        // clamps so phase detection stays meaningful.
+        let b = PhaseBuffer::new(0);
+        b.record_and_check(ContextId(1));
+        assert!(b.record_and_check(ContextId(2)));
+    }
+}

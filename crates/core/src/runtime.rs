@@ -1,0 +1,400 @@
+//! The TSVD runtime: the `OnCall` entry point and the trap framework.
+//!
+//! One [`Runtime`] instance corresponds to one instrumented test execution.
+//! Instrumented collections call [`Runtime::on_call`] right before every
+//! thread-unsafe operation; the runtime executes the trap mechanism of
+//! Fig. 5 — check for conflicting traps, consult the strategy's
+//! `should_delay`, set a trap, sleep, clear the trap — and reports every
+//! collision as a [`Violation`]. The task substrate feeds fork/join/lock
+//! events through [`Runtime::on_sync`] (consumed only by TSVD-HB).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::access::{Access, ObjId, OpKind};
+use crate::clock::now_ns;
+use crate::config::TsvdConfig;
+use crate::context;
+use crate::phase::PhaseBuffer;
+use crate::report::{Party, ReportSink, Violation};
+use crate::site::SiteId;
+use crate::stats::RuntimeStats;
+use crate::strategy::{DynamicRandom, Noop, StaticRandom, Strategy, SyncEvent, Tsvd, TsvdHb};
+use crate::trap::TrapTable;
+use crate::trap_file::TrapFileData;
+
+/// A detection runtime: strategy + trap table + report sink + statistics.
+pub struct Runtime {
+    strategy: Box<dyn Strategy>,
+    traps: TrapTable,
+    sink: ReportSink,
+    stats: RuntimeStats,
+    config: TsvdConfig,
+    /// Phase buffer used only for coverage statistics (the TSVD strategy
+    /// keeps its own for planning).
+    coverage_phase: PhaseBuffer,
+    run_delay_ns: AtomicU64,
+    /// Opt-in event tracing to stderr (`TSVD_TRACE=1`).
+    trace: bool,
+}
+
+impl Runtime {
+    /// Creates a runtime with an explicit strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`TsvdConfig::validate`]; an invalid
+    /// configuration would silently disable detection.
+    pub fn new(config: TsvdConfig, strategy: Box<dyn Strategy>) -> Arc<Runtime> {
+        if let Err(msg) = config.validate() {
+            panic!("invalid TsvdConfig: {msg}");
+        }
+        Arc::new(Runtime {
+            strategy,
+            traps: TrapTable::new(),
+            sink: ReportSink::new(),
+            stats: RuntimeStats::new(),
+            coverage_phase: PhaseBuffer::new(config.phase_buffer),
+            config,
+            run_delay_ns: AtomicU64::new(0),
+            trace: std::env::var_os("TSVD_TRACE").is_some_and(|v| v == "1"),
+        })
+    }
+
+    /// Creates a runtime with the TSVD strategy (§3.4).
+    pub fn tsvd(config: TsvdConfig) -> Arc<Runtime> {
+        let s = Box::new(Tsvd::new(&config));
+        Self::new(config, s)
+    }
+
+    /// Creates a runtime with the TSVD-HB strategy (§3.5).
+    pub fn tsvd_hb(config: TsvdConfig) -> Arc<Runtime> {
+        let s = Box::new(TsvdHb::new(&config));
+        Self::new(config, s)
+    }
+
+    /// Creates a runtime with the DynamicRandom strategy (§3.2).
+    pub fn dynamic_random(config: TsvdConfig) -> Arc<Runtime> {
+        let s = Box::new(DynamicRandom::new(&config));
+        Self::new(config, s)
+    }
+
+    /// Creates a runtime with the StaticRandom/DataCollider strategy (§3.3).
+    pub fn static_random(config: TsvdConfig) -> Arc<Runtime> {
+        let s = Box::new(StaticRandom::new(&config));
+        Self::new(config, s)
+    }
+
+    /// Creates a passive runtime (instrumentation only, no delays).
+    pub fn noop(config: TsvdConfig) -> Arc<Runtime> {
+        Self::new(config, Box::new(Noop))
+    }
+
+    /// Creates a focused-reproduction runtime that hunts exactly `pair`
+    /// (§5.2 bug validation; delays are `reproduce_factor ×` longer than
+    /// normal so one re-run usually re-triggers the violation).
+    pub fn focused(
+        config: TsvdConfig,
+        pair: crate::near_miss::SitePair,
+        reproduce_factor: u32,
+    ) -> Arc<Runtime> {
+        let s = Box::new(crate::strategy::Focused::new(
+            &config,
+            pair,
+            reproduce_factor,
+        ));
+        Self::new(config, s)
+    }
+
+    /// The paper's `OnCall`: invoked right before a thread-unsafe operation.
+    ///
+    /// `site` is the static program location of the call (instrumented
+    /// wrappers are `#[track_caller]` and pass their caller's position),
+    /// `op_name` a human-readable operation name, and `kind` its read/write
+    /// classification under the thread-safety contract.
+    pub fn on_call(&self, obj: ObjId, site: SiteId, op_name: &'static str, kind: OpKind) {
+        let access = Access {
+            context: context::current(),
+            obj,
+            site,
+            op_name,
+            kind,
+            time_ns: now_ns(),
+        };
+
+        let concurrent = self.coverage_phase.record_and_check(access.context);
+        self.stats.record_call(site, concurrent);
+
+        if self.trace {
+            eprintln!(
+                "[tsvd {}ns] call {} {:?} obj={:?} {} ({})",
+                access.time_ns,
+                access.context,
+                access.kind,
+                access.obj,
+                access.site,
+                access.op_name
+            );
+        }
+
+        // check_for_trap: are we colliding with a delayed thread?
+        for trap in self.traps.check_for_trap(&access) {
+            self.stats.record_catch();
+            let violation = Violation {
+                trapped: Party {
+                    site: trap.access.site,
+                    context: trap.access.context,
+                    op_name: trap.access.op_name,
+                    kind: trap.access.kind,
+                    stack: trap.stack.clone(),
+                },
+                hitter: Party {
+                    site: access.site,
+                    context: access.context,
+                    op_name: access.op_name,
+                    kind: access.kind,
+                    stack: self.capture_stack(),
+                },
+                obj: access.obj,
+                time_ns: access.time_ns,
+            };
+            self.strategy.on_violation(violation.pair());
+            self.sink.report(violation);
+        }
+
+        // should_delay: the strategy decides where and when.
+        if let Some(delay_ns) = self.strategy.on_access(&access) {
+            if self.delay_budget_allows(access.context, delay_ns) {
+                let entry = self.traps.set_trap(access, self.capture_stack());
+                if self.trace {
+                    eprintln!(
+                        "[tsvd {}ns] trap set {} {:?} obj={:?} {} for {}ns",
+                        access.time_ns,
+                        access.context,
+                        access.kind,
+                        access.obj,
+                        access.site,
+                        delay_ns
+                    );
+                }
+                let start_ns = now_ns();
+                let caught = entry.sleep(Duration::from_nanos(delay_ns));
+                self.traps.clear_trap(&entry);
+                let end_ns = now_ns();
+                let slept = end_ns.saturating_sub(start_ns);
+                self.stats.record_delay(access.context, slept);
+                self.run_delay_ns.fetch_add(slept, Ordering::Relaxed);
+                self.strategy
+                    .on_delay_complete(&access, start_ns, end_ns, caught);
+                if self.trace {
+                    eprintln!(
+                        "[tsvd {end_ns}ns] trap end {} {} caught={caught}",
+                        access.context, access.site
+                    );
+                }
+            } else if self.trace {
+                eprintln!(
+                    "[tsvd {}ns] delay blocked by budget at {}",
+                    access.time_ns, access.site
+                );
+            }
+        }
+    }
+
+    /// Reports a synchronization event (fork/join/lock). TSVD ignores these
+    /// by design; TSVD-HB builds its vector clocks from them.
+    pub fn on_sync(&self, event: SyncEvent) {
+        self.stats.record_sync();
+        self.strategy.on_sync(&event);
+    }
+
+    fn delay_budget_allows(&self, ctx: context::ContextId, delay_ns: u64) -> bool {
+        if self.run_delay_ns.load(Ordering::Relaxed) + delay_ns > self.config.max_delay_per_run_ns {
+            return false;
+        }
+        self.stats.context_delay_ns(ctx) + delay_ns <= self.config.max_delay_per_context_ns
+    }
+
+    fn capture_stack(&self) -> Option<Arc<str>> {
+        if self.config.capture_stacks {
+            let bt = std::backtrace::Backtrace::force_capture();
+            Some(Arc::from(bt.to_string().as_str()))
+        } else {
+            None
+        }
+    }
+
+    /// The violation reports collected so far.
+    pub fn reports(&self) -> &ReportSink {
+        &self.sink
+    }
+
+    /// Runtime counters (delays, coverage, ...).
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TsvdConfig {
+        &self.config
+    }
+
+    /// The strategy's short name.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// Approximate bytes of tracking state the strategy retains.
+    pub fn strategy_memory_bytes(&self) -> usize {
+        self.strategy.memory_bytes()
+    }
+
+    /// Writes the machine-readable bug report to `path` (pretty JSON) —
+    /// the analog of the deployed tool's report log (§4).
+    pub fn write_report(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.sink.export().save(path)
+    }
+
+    /// Exports the strategy's persistent trap state, if it keeps any.
+    pub fn export_trap_file(&self) -> Option<TrapFileData> {
+        self.strategy.export_trap_file()
+    }
+
+    /// Imports a previous run's trap state.
+    pub fn import_trap_file(&self, data: &TrapFileData) {
+        self.strategy.import_trap_file(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ms_to_ns;
+
+    fn cfg() -> TsvdConfig {
+        TsvdConfig::for_testing()
+    }
+
+    #[test]
+    fn noop_runtime_reports_nothing() {
+        let rt = Runtime::noop(cfg());
+        for i in 0..100 {
+            rt.on_call(ObjId(i % 3), crate::site!(), "t.op", OpKind::Write);
+        }
+        assert_eq!(rt.reports().unique_bugs(), 0);
+        assert_eq!(rt.stats().delays_injected(), 0);
+        assert_eq!(rt.stats().on_calls(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid TsvdConfig")]
+    fn invalid_config_panics() {
+        let mut c = cfg();
+        c.delay_ns = 0;
+        let _ = Runtime::noop(c);
+    }
+
+    #[test]
+    fn tsvd_runtime_catches_forced_collision() {
+        // Arm-then-collide, the paper's same-run mechanism end to end:
+        // (1) a near miss between two contexts arms the pair;
+        // (2) a later access at one armed site sets a trap and sleeps;
+        // (3) a conflicting access from another thread walks into the trap.
+        let mut c = cfg();
+        c.decay_factor = 0.0; // Keep P_loc = 1 so step 2 is deterministic.
+        let delay = Duration::from_nanos(c.delay_ns);
+        for _attempt in 0..3 {
+            let rt = Runtime::tsvd(c.clone());
+            let obj = ObjId(0xC0FFEE);
+            let site_a = crate::site!();
+            let site_b = crate::site!();
+            // (1) Near miss: one call from a spawned thread, one from here.
+            std::thread::scope(|scope| {
+                scope.spawn(|| rt.on_call(obj, site_a, "x.write", OpKind::Write));
+            });
+            rt.on_call(obj, site_b, "x.write", OpKind::Write);
+            // (2)+(3) Collide: the spawned thread delays at the armed site
+            // while this thread makes the conflicting call.
+            std::thread::scope(|scope| {
+                scope.spawn(|| rt.on_call(obj, site_a, "x.write", OpKind::Write));
+                std::thread::sleep(delay / 4);
+                rt.on_call(obj, site_b, "x.write", OpKind::Write);
+            });
+            if rt.reports().unique_bugs() >= 1 {
+                return;
+            }
+        }
+        panic!("forced collision was not caught in 3 attempts");
+    }
+
+    #[test]
+    fn per_run_delay_budget_caps_injection() {
+        let mut c = cfg();
+        c.max_delay_per_run_ns = c.delay_ns; // Budget for exactly one delay.
+        c.max_delay_per_context_ns = u64::MAX;
+        let rt = Runtime::dynamic_random({
+            let mut c = c.clone();
+            c.dynamic_random_p = 1.0; // Try to delay at every call.
+            c
+        });
+        for i in 0..20 {
+            rt.on_call(ObjId(i), crate::site!(), "t.op", OpKind::Write);
+        }
+        // One full delay fits; everything after is budget-blocked. Allow 2
+        // in case the first sleep undershoots the budget boundary.
+        assert!(
+            rt.stats().delays_injected() <= 2,
+            "delays: {}",
+            rt.stats().delays_injected()
+        );
+    }
+
+    #[test]
+    fn per_context_budget_is_enforced() {
+        let mut c = cfg();
+        c.max_delay_per_context_ns = c.delay_ns + ms_to_ns(1);
+        c.max_delay_per_run_ns = u64::MAX;
+        c.dynamic_random_p = 1.0;
+        let rt = Runtime::dynamic_random(c);
+        for i in 0..10 {
+            rt.on_call(ObjId(i), crate::site!(), "t.op", OpKind::Write);
+        }
+        assert!(rt.stats().delays_injected() <= 3);
+    }
+
+    #[test]
+    fn stack_capture_attaches_stacks() {
+        let mut c = cfg();
+        c.capture_stacks = true;
+        c.dynamic_random_p = 1.0;
+        let rt = Runtime::dynamic_random(c);
+        let obj = ObjId(0xABCD);
+        std::thread::scope(|scope| {
+            let rt1 = &rt;
+            scope.spawn(move || {
+                rt1.on_call(obj, crate::site!(), "x.write", OpKind::Write);
+            });
+            // Give the first thread time to set its trap, then collide.
+            std::thread::sleep(Duration::from_millis(1));
+            rt.on_call(obj, crate::site!(), "x.write", OpKind::Write);
+        });
+        if rt.reports().unique_bugs() > 0 {
+            let v = &rt.reports().violations()[0];
+            assert!(v.trapped.stack.is_some());
+            assert!(v.hitter.stack.is_some());
+            assert!(rt.reports().stack_trace_pairs() >= 1);
+        }
+    }
+
+    #[test]
+    fn sync_events_are_counted_and_ignored_by_tsvd() {
+        let rt = Runtime::tsvd(cfg());
+        rt.on_sync(SyncEvent::Fork {
+            parent: context::current(),
+            child: context::fresh_id(),
+        });
+        assert_eq!(rt.stats().sync_events(), 1);
+        assert_eq!(rt.reports().unique_bugs(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Runtime statistics: delay accounting, coverage, and resource estimates.
+//!
+//! The paper's runtime (§4) tracks the total delay injected per thread and
+//! per run (to avoid test timeouts) and reports coverage of instrumented
+//! APIs — which one product team used to find blind spots where critical
+//! code was only ever exercised sequentially. The §5.5 resource evaluation
+//! additionally needs memory estimates for the tracking state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::context::ContextId;
+use crate::site::SiteId;
+
+/// Per-site coverage: how often a TSVD point ran at all, and how often it
+/// ran inside a concurrent phase.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SiteCoverage {
+    /// Executions in any context.
+    pub hits: u64,
+    /// Executions observed during a concurrent phase.
+    pub concurrent_hits: u64,
+}
+
+/// Counters shared by the runtime and its strategy.
+#[derive(Default)]
+pub struct RuntimeStats {
+    on_calls: AtomicU64,
+    delays_injected: AtomicU64,
+    delay_total_ns: AtomicU64,
+    traps_caught: AtomicU64,
+    sync_events: AtomicU64,
+    per_context_delay_ns: Mutex<HashMap<ContextId, u64>>,
+    coverage: Mutex<HashMap<SiteId, SiteCoverage>>,
+}
+
+impl RuntimeStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `OnCall` entry at `site`, noting phase concurrency.
+    pub fn record_call(&self, site: SiteId, concurrent: bool) {
+        self.on_calls.fetch_add(1, Ordering::Relaxed);
+        let mut cov = self.coverage.lock();
+        let entry = cov.entry(site).or_default();
+        entry.hits += 1;
+        if concurrent {
+            entry.concurrent_hits += 1;
+        }
+    }
+
+    /// Records an injected delay of `ns` nanoseconds by `context`.
+    pub fn record_delay(&self, context: ContextId, ns: u64) {
+        self.delays_injected.fetch_add(1, Ordering::Relaxed);
+        self.delay_total_ns.fetch_add(ns, Ordering::Relaxed);
+        *self.per_context_delay_ns.lock().entry(context).or_insert(0) += ns;
+    }
+
+    /// Records a trap collision.
+    pub fn record_catch(&self) {
+        self.traps_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a synchronization event delivered to the strategy.
+    pub fn record_sync(&self) {
+        self.sync_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total `OnCall` entries.
+    pub fn on_calls(&self) -> u64 {
+        self.on_calls.load(Ordering::Relaxed)
+    }
+
+    /// Total delays injected.
+    pub fn delays_injected(&self) -> u64 {
+        self.delays_injected.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds of injected delay.
+    pub fn delay_total_ns(&self) -> u64 {
+        self.delay_total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total trap collisions.
+    pub fn traps_caught(&self) -> u64 {
+        self.traps_caught.load(Ordering::Relaxed)
+    }
+
+    /// Total synchronization events observed.
+    pub fn sync_events(&self) -> u64 {
+        self.sync_events.load(Ordering::Relaxed)
+    }
+
+    /// Delay injected by `context` so far (for the per-thread budget).
+    pub fn context_delay_ns(&self, context: ContextId) -> u64 {
+        self.per_context_delay_ns
+            .lock()
+            .get(&context)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct TSVD points executed.
+    pub fn sites_covered(&self) -> usize {
+        self.coverage.lock().len()
+    }
+
+    /// Number of TSVD points that ever ran in a concurrent phase.
+    ///
+    /// Sites with `hits > 0` but `concurrent_hits == 0` are the "blind
+    /// spots" the paper's coverage report surfaces: code only ever tested
+    /// sequentially.
+    pub fn sites_covered_concurrently(&self) -> usize {
+        self.coverage
+            .lock()
+            .values()
+            .filter(|c| c.concurrent_hits > 0)
+            .count()
+    }
+
+    /// Per-site coverage snapshot.
+    pub fn coverage(&self) -> Vec<(SiteId, SiteCoverage)> {
+        self.coverage.lock().iter().map(|(&s, &c)| (s, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SiteData;
+
+    fn site(n: u32) -> SiteId {
+        SiteId::intern(SiteData {
+            file: "stats_test.rs",
+            line: n,
+            column: 1,
+        })
+    }
+
+    #[test]
+    fn call_and_coverage_counting() {
+        let s = RuntimeStats::new();
+        s.record_call(site(1), false);
+        s.record_call(site(1), true);
+        s.record_call(site(2), false);
+        assert_eq!(s.on_calls(), 3);
+        assert_eq!(s.sites_covered(), 2);
+        assert_eq!(s.sites_covered_concurrently(), 1);
+    }
+
+    #[test]
+    fn delay_accounting_per_context() {
+        let s = RuntimeStats::new();
+        s.record_delay(ContextId(1), 100);
+        s.record_delay(ContextId(1), 50);
+        s.record_delay(ContextId(2), 10);
+        assert_eq!(s.delays_injected(), 3);
+        assert_eq!(s.delay_total_ns(), 160);
+        assert_eq!(s.context_delay_ns(ContextId(1)), 150);
+        assert_eq!(s.context_delay_ns(ContextId(2)), 10);
+        assert_eq!(s.context_delay_ns(ContextId(3)), 0);
+    }
+
+    #[test]
+    fn catch_and_sync_counters() {
+        let s = RuntimeStats::new();
+        s.record_catch();
+        s.record_sync();
+        s.record_sync();
+        assert_eq!(s.traps_caught(), 1);
+        assert_eq!(s.sync_events(), 2);
+    }
+}

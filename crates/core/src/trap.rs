@@ -1,0 +1,203 @@
+//! The trap table: catching threads red-handed (Fig. 5).
+//!
+//! A thread that decides to delay at a TSVD point first *sets a trap*
+//! registering its access triple, then sleeps. Every other thread entering
+//! `OnCall` checks the table; if its access conflicts with a live trap —
+//! different context, same object, at least one write — both threads are at
+//! their respective program counters making the conflicting calls, and the
+//! violation is real by construction. The sleeping thread is woken early so
+//! a caught trap does not keep paying its full delay.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::access::Access;
+
+/// A live trap: one delayed access waiting to be collided with.
+pub struct TrapEntry {
+    /// The delayed access.
+    pub access: Access,
+    /// Stack trace captured when the trap was set (if enabled).
+    pub stack: Option<Arc<str>>,
+    state: Mutex<TrapState>,
+    wake: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct TrapState {
+    /// Set when a conflicting access hit this trap.
+    caught: bool,
+    /// Set when the trap owner should stop sleeping (caught or cancelled).
+    wake_now: bool,
+}
+
+impl TrapEntry {
+    fn new(access: Access, stack: Option<Arc<str>>) -> Arc<TrapEntry> {
+        Arc::new(TrapEntry {
+            access,
+            stack,
+            state: Mutex::new(TrapState::default()),
+            wake: Condvar::new(),
+        })
+    }
+
+    /// Marks the trap as hit and wakes its owner.
+    pub fn catch(&self) {
+        let mut st = self.state.lock();
+        st.caught = true;
+        st.wake_now = true;
+        self.wake.notify_all();
+    }
+
+    /// Returns `true` if a conflicting access hit this trap.
+    pub fn was_caught(&self) -> bool {
+        self.state.lock().caught
+    }
+
+    /// Sleeps for up to `duration`, returning early if the trap is hit.
+    /// Returns `true` if the trap was caught during the sleep.
+    pub fn sleep(&self, duration: Duration) -> bool {
+        let deadline = std::time::Instant::now() + duration;
+        let mut st = self.state.lock();
+        while !st.wake_now {
+            if self.wake.wait_until(&mut st, deadline).timed_out() {
+                break;
+            }
+        }
+        st.caught
+    }
+}
+
+/// The global table of live traps.
+#[derive(Default)]
+pub struct TrapTable {
+    traps: Mutex<Vec<Arc<TrapEntry>>>,
+}
+
+impl TrapTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a trap for `access` and returns its handle.
+    pub fn set_trap(&self, access: Access, stack: Option<Arc<str>>) -> Arc<TrapEntry> {
+        let entry = TrapEntry::new(access, stack);
+        self.traps.lock().push(entry.clone());
+        entry
+    }
+
+    /// Removes `entry` from the table (the owner woke up).
+    pub fn clear_trap(&self, entry: &Arc<TrapEntry>) {
+        let mut traps = self.traps.lock();
+        traps.retain(|t| !Arc::ptr_eq(t, entry));
+    }
+
+    /// Checks `access` against all live traps, marking and returning every
+    /// trap it collides with. The paper's conflict predicate: different
+    /// context, same object, at least one write.
+    pub fn check_for_trap(&self, access: &Access) -> Vec<Arc<TrapEntry>> {
+        let traps = self.traps.lock();
+        let mut hit = Vec::new();
+        for t in traps.iter() {
+            if t.access.conflicts_with(access) {
+                t.catch();
+                hit.push(t.clone());
+            }
+        }
+        hit
+    }
+
+    /// Number of live traps (stats).
+    pub fn live_count(&self) -> usize {
+        self.traps.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{ObjId, OpKind};
+    use crate::context::ContextId;
+
+    fn acc(ctx: u64, obj: u64, kind: OpKind) -> Access {
+        Access {
+            context: ContextId(ctx),
+            obj: ObjId(obj),
+            site: crate::site!(),
+            op_name: "t.op",
+            kind,
+            time_ns: 0,
+        }
+    }
+
+    #[test]
+    fn conflicting_access_hits_trap() {
+        let table = TrapTable::new();
+        let trap = table.set_trap(acc(1, 7, OpKind::Write), None);
+        let hits = table.check_for_trap(&acc(2, 7, OpKind::Read));
+        assert_eq!(hits.len(), 1);
+        assert!(trap.was_caught());
+    }
+
+    #[test]
+    fn non_conflicting_access_misses() {
+        let table = TrapTable::new();
+        let trap = table.set_trap(acc(1, 7, OpKind::Read), None);
+        assert!(table.check_for_trap(&acc(2, 7, OpKind::Read)).is_empty());
+        assert!(table.check_for_trap(&acc(2, 8, OpKind::Write)).is_empty());
+        assert!(table.check_for_trap(&acc(1, 7, OpKind::Write)).is_empty());
+        assert!(!trap.was_caught());
+    }
+
+    #[test]
+    fn cleared_trap_cannot_be_hit() {
+        let table = TrapTable::new();
+        let trap = table.set_trap(acc(1, 7, OpKind::Write), None);
+        table.clear_trap(&trap);
+        assert_eq!(table.live_count(), 0);
+        assert!(table.check_for_trap(&acc(2, 7, OpKind::Write)).is_empty());
+    }
+
+    #[test]
+    fn multiple_traps_can_hit_one_access() {
+        let table = TrapTable::new();
+        table.set_trap(acc(1, 7, OpKind::Write), None);
+        table.set_trap(acc(3, 7, OpKind::Write), None);
+        let hits = table.check_for_trap(&acc(2, 7, OpKind::Write));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn sleep_times_out_when_not_caught() {
+        let table = TrapTable::new();
+        let trap = table.set_trap(acc(1, 7, OpKind::Write), None);
+        let start = std::time::Instant::now();
+        let caught = trap.sleep(Duration::from_millis(5));
+        assert!(!caught);
+        assert!(start.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn sleep_wakes_early_when_caught() {
+        let table = Arc::new(TrapTable::new());
+        let trap = table.set_trap(acc(1, 7, OpKind::Write), None);
+        let t2 = {
+            let table = table.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                table.check_for_trap(&acc(2, 7, OpKind::Write))
+            })
+        };
+        let start = std::time::Instant::now();
+        let caught = trap.sleep(Duration::from_millis(500));
+        assert!(caught, "collision must be observed by the sleeper");
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "sleeper must wake early"
+        );
+        assert_eq!(t2.join().expect("no panic").len(), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Trap-set persistence across test runs (§3.4.6).
+//!
+//! During the first run TSVD records its trap set in a persistent trap file;
+//! at the start of the second run the trap set is initialized from the file,
+//! allowing delays to be injected at dangerous pairs even on their *first*
+//! occurrence — which is how TSVD catches bugs whose TSVD point executes
+//! only once per test (11 of the 53 Table-2 bugs).
+
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::near_miss::SitePair;
+use crate::site::SiteId;
+
+/// Serializable snapshot of a trap set.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct TrapFileData {
+    /// Dangerous pairs, as textual site locations (`file:line:column`).
+    pub pairs: Vec<(String, String)>,
+}
+
+impl TrapFileData {
+    /// Builds a snapshot from in-memory pairs.
+    pub fn from_pairs(pairs: &[SitePair]) -> Self {
+        TrapFileData {
+            pairs: pairs
+                .iter()
+                .map(|p| (p.first.to_string(), p.second.to_string()))
+                .collect(),
+        }
+    }
+
+    /// Re-interns the stored pairs. Pairs whose text cannot be parsed are
+    /// skipped — a corrupt line must not poison the whole run.
+    pub fn to_pairs(&self) -> Vec<SitePair> {
+        self.pairs
+            .iter()
+            .filter_map(|(a, b)| Some(SitePair::new(SiteId::parse(a)?, SiteId::parse(b)?)))
+            .collect()
+    }
+
+    /// Writes the snapshot as JSON.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+
+    /// Loads a snapshot from JSON.
+    pub fn load(path: &Path) -> io::Result<TrapFileData> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SiteData;
+
+    fn site(n: u32) -> SiteId {
+        SiteId::intern(SiteData {
+            file: "trap_file_test.rs",
+            line: n,
+            column: 1,
+        })
+    }
+
+    #[test]
+    fn pairs_round_trip_in_memory() {
+        let pairs = vec![
+            SitePair::new(site(1), site(2)),
+            SitePair::new(site(3), site(3)),
+        ];
+        let data = TrapFileData::from_pairs(&pairs);
+        let mut back = data.to_pairs();
+        back.sort();
+        let mut want = pairs.clone();
+        want.sort();
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("tsvd_trapfile_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("traps.json");
+        let pairs = vec![SitePair::new(site(10), site(11))];
+        let data = TrapFileData::from_pairs(&pairs);
+        data.save(&path).expect("save");
+        let loaded = TrapFileData::load(&path).expect("load");
+        assert_eq!(loaded, data);
+        assert_eq!(loaded.to_pairs(), pairs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entries_are_skipped() {
+        let data = TrapFileData {
+            pairs: vec![
+                ("not-a-site".into(), "also:bad".into()),
+                (site(20).to_string(), site(21).to_string()),
+            ],
+        };
+        let pairs = data.to_pairs();
+        assert_eq!(pairs, vec![SitePair::new(site(20), site(21))]);
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        assert!(TrapFileData::load(Path::new("/nonexistent/tsvd.json")).is_err());
+    }
+}

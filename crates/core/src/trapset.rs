@@ -1,0 +1,235 @@
+//! The trap set: dangerous pairs of program locations (§3.4.1).
+//!
+//! The trap set grows as near misses are discovered and shrinks as pairs are
+//! pruned — either because a likely happens-before relation was inferred
+//! between the two locations, or because a violation was already caught at
+//! the pair. Membership of a *location* in any pair is what makes
+//! `should_delay` eligible at that location.
+
+use std::collections::{HashMap, HashSet};
+
+use parking_lot::Mutex;
+
+use crate::near_miss::SitePair;
+use crate::site::SiteId;
+
+#[derive(Default)]
+struct Inner {
+    pairs: HashSet<SitePair>,
+    /// How many pairs each site participates in (for O(1) eligibility).
+    site_refs: HashMap<SiteId, usize>,
+    /// Pairs at which a violation has already been caught; never re-added.
+    found: HashSet<SitePair>,
+}
+
+/// Thread-safe set of dangerous pairs with per-site membership counts.
+#[derive(Default)]
+pub struct TrapSet {
+    inner: Mutex<Inner>,
+}
+
+impl TrapSet {
+    /// Creates an empty trap set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `pair` unless it was already found buggy. Returns `true` if the
+    /// pair is newly inserted.
+    pub fn add(&self, pair: SitePair) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.found.contains(&pair) {
+            return false;
+        }
+        if inner.pairs.insert(pair) {
+            *inner.site_refs.entry(pair.first).or_insert(0) += 1;
+            if pair.second != pair.first {
+                *inner.site_refs.entry(pair.second).or_insert(0) += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `pair` (HB-inferred prune). Returns `true` if it was present.
+    pub fn remove(&self, pair: SitePair) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.pairs.remove(&pair) {
+            decref(&mut inner.site_refs, pair.first);
+            if pair.second != pair.first {
+                decref(&mut inner.site_refs, pair.second);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks `pair` as found buggy: removes it and blocks re-insertion.
+    pub fn mark_found(&self, pair: SitePair) {
+        {
+            let mut inner = self.inner.lock();
+            inner.found.insert(pair);
+        }
+        self.remove(pair);
+    }
+
+    /// Removes every pair containing `site` (decay eviction), returning the
+    /// removed pairs.
+    pub fn remove_site(&self, site: SiteId) -> Vec<SitePair> {
+        let mut inner = self.inner.lock();
+        let doomed: Vec<SitePair> = inner
+            .pairs
+            .iter()
+            .filter(|p| p.contains(site))
+            .copied()
+            .collect();
+        for pair in &doomed {
+            inner.pairs.remove(pair);
+            decref(&mut inner.site_refs, pair.first);
+            if pair.second != pair.first {
+                decref(&mut inner.site_refs, pair.second);
+            }
+        }
+        doomed
+    }
+
+    /// Returns `true` if `site` participates in at least one pair.
+    pub fn contains_site(&self, site: SiteId) -> bool {
+        self.inner
+            .lock()
+            .site_refs
+            .get(&site)
+            .is_some_and(|&n| n > 0)
+    }
+
+    /// Returns `true` if `pair` is currently in the set.
+    pub fn contains(&self, pair: SitePair) -> bool {
+        self.inner.lock().pairs.contains(&pair)
+    }
+
+    /// Returns the partner locations of every pair containing `site`
+    /// (excluding `site` itself unless it self-pairs).
+    pub fn partners(&self, site: SiteId) -> Vec<SiteId> {
+        self.inner
+            .lock()
+            .pairs
+            .iter()
+            .filter(|p| p.contains(site))
+            .map(|p| p.other(site))
+            .collect()
+    }
+
+    /// Snapshot of all pairs (for trap-file export).
+    pub fn pairs(&self) -> Vec<SitePair> {
+        self.inner.lock().pairs.iter().copied().collect()
+    }
+
+    /// Number of pairs currently in the set.
+    pub fn len(&self) -> usize {
+        self.inner.lock().pairs.len()
+    }
+
+    /// Returns `true` if the set has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn decref(refs: &mut HashMap<SiteId, usize>, site: SiteId) {
+    if let Some(n) = refs.get_mut(&site) {
+        *n = n.saturating_sub(1);
+        if *n == 0 {
+            refs.remove(&site);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::SiteData;
+
+    fn site(n: u32) -> SiteId {
+        SiteId::intern(SiteData {
+            file: "trapset_test.rs",
+            line: n,
+            column: 1,
+        })
+    }
+
+    #[test]
+    fn add_and_membership() {
+        let t = TrapSet::new();
+        let p = SitePair::new(site(1), site(2));
+        assert!(t.add(p));
+        assert!(!t.add(p), "second insert is a no-op");
+        assert!(t.contains(p));
+        assert!(t.contains_site(site(1)));
+        assert!(t.contains_site(site(2)));
+        assert!(!t.contains_site(site(3)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_updates_site_refs() {
+        let t = TrapSet::new();
+        let p12 = SitePair::new(site(1), site(2));
+        let p13 = SitePair::new(site(1), site(3));
+        t.add(p12);
+        t.add(p13);
+        assert!(t.remove(p12));
+        assert!(
+            t.contains_site(site(1)),
+            "site 1 still referenced by the other pair"
+        );
+        assert!(!t.contains_site(site(2)));
+        assert!(!t.remove(p12), "already gone");
+    }
+
+    #[test]
+    fn same_site_pair_refcount() {
+        let t = TrapSet::new();
+        let p = SitePair::new(site(7), site(7));
+        t.add(p);
+        assert!(t.contains_site(site(7)));
+        t.remove(p);
+        assert!(!t.contains_site(site(7)));
+    }
+
+    #[test]
+    fn mark_found_blocks_readdition() {
+        let t = TrapSet::new();
+        let p = SitePair::new(site(1), site(2));
+        t.add(p);
+        t.mark_found(p);
+        assert!(!t.contains(p));
+        assert!(!t.add(p), "found pairs are never re-armed");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn remove_site_evicts_all_pairs() {
+        let t = TrapSet::new();
+        t.add(SitePair::new(site(1), site(2)));
+        t.add(SitePair::new(site(1), site(3)));
+        t.add(SitePair::new(site(4), site(5)));
+        let removed = t.remove_site(site(1));
+        assert_eq!(removed.len(), 2);
+        assert_eq!(t.len(), 1);
+        assert!(!t.contains_site(site(1)));
+        assert!(!t.contains_site(site(2)));
+        assert!(t.contains_site(site(4)));
+    }
+
+    #[test]
+    fn pairs_snapshot() {
+        let t = TrapSet::new();
+        t.add(SitePair::new(site(1), site(2)));
+        t.add(SitePair::new(site(3), site(4)));
+        let mut pairs = t.pairs();
+        pairs.sort();
+        assert_eq!(pairs.len(), 2);
+    }
+}

@@ -1,0 +1,226 @@
+//! Property-based tests for the core detection components.
+
+use proptest::prelude::*;
+
+use tsvd_core::access::{Access, ObjId, OpKind};
+use tsvd_core::context::ContextId;
+use tsvd_core::decay::DecayTable;
+use tsvd_core::hb_infer::{DelayRecord, HbInference};
+use tsvd_core::near_miss::{NearMissTracker, SitePair};
+use tsvd_core::report::{Party, ReportSink, Violation};
+use tsvd_core::site::{SiteData, SiteId};
+use tsvd_core::trap_file::TrapFileData;
+use tsvd_core::trapset::TrapSet;
+
+fn site(n: u32) -> SiteId {
+    SiteId::intern(SiteData {
+        file: "proptests.rs",
+        line: n,
+        column: 1,
+    })
+}
+
+fn access(ctx: u64, obj: u64, s: u32, write: bool, t_ns: u64) -> Access {
+    Access {
+        context: ContextId(ctx),
+        obj: ObjId(obj),
+        site: site(s),
+        op_name: "p.op",
+        kind: if write { OpKind::Write } else { OpKind::Read },
+        time_ns: t_ns,
+    }
+}
+
+proptest! {
+    /// Pair normalization: construction order never matters.
+    #[test]
+    fn site_pair_is_unordered(a in 0u32..50, b in 0u32..50) {
+        let p1 = SitePair::new(site(a), site(b));
+        let p2 = SitePair::new(site(b), site(a));
+        prop_assert_eq!(p1, p2);
+        prop_assert!(p1.contains(site(a)) && p1.contains(site(b)));
+    }
+
+    /// Near misses reported by the tracker always satisfy the paper's
+    /// predicate: different contexts, same object, conflicting kinds,
+    /// within the window.
+    #[test]
+    fn near_misses_satisfy_conflict_predicate(
+        accesses in proptest::collection::vec(
+            (0u64..4, 0u64..3, 0u32..6, any::<bool>(), 0u64..200), 1..100),
+    ) {
+        let window_ns = 50u64;
+        let tracker = NearMissTracker::new(5, Some(window_ns), 1024);
+        let mut history: Vec<Access> = Vec::new();
+        for (ctx, obj, s, write, t) in accesses {
+            let a = access(ctx, obj, s, write, t);
+            let pairs = tracker.record(&a);
+            for pair in &pairs {
+                // Some retained earlier access must justify this pair.
+                let justified = history.iter().any(|prev| {
+                    prev.context != a.context
+                        && prev.obj == a.obj
+                        && prev.kind.conflicts_with(a.kind)
+                        && prev.time_ns.abs_diff(a.time_ns) <= window_ns
+                        && SitePair::new(prev.site, a.site) == *pair
+                });
+                prop_assert!(justified, "unjustified pair {pair:?}");
+            }
+            history.push(a);
+        }
+    }
+
+    /// The tracker never retains more than `history` entries per object,
+    /// regardless of the access stream.
+    #[test]
+    fn near_miss_memory_is_bounded(
+        accesses in proptest::collection::vec(
+            (0u64..4, 0u64..8, 0u32..6, any::<bool>(), 0u64..1_000), 1..300),
+        history in 1usize..6,
+    ) {
+        let tracker = NearMissTracker::new(history, Some(100), 4);
+        for (ctx, obj, s, write, t) in accesses {
+            tracker.record(&access(ctx, obj, s, write, t));
+        }
+        prop_assert!(tracker.tracked_objects() <= 4);
+        prop_assert!(tracker.approx_bytes() < 64 * 1024);
+    }
+
+    /// Trap-set site reference counts stay consistent under arbitrary
+    /// add/remove/mark-found interleavings.
+    #[test]
+    fn trap_set_refcounts_consistent(
+        ops in proptest::collection::vec((0u8..4, 0u32..8, 0u32..8), 0..200),
+    ) {
+        let set = TrapSet::new();
+        let mut model: std::collections::HashSet<SitePair> = Default::default();
+        let mut found: std::collections::HashSet<SitePair> = Default::default();
+        for (op, a, b) in ops {
+            let pair = SitePair::new(site(a), site(b));
+            match op {
+                0 => {
+                    let inserted = set.add(pair);
+                    prop_assert_eq!(inserted, !found.contains(&pair) && model.insert(pair));
+                }
+                1 => {
+                    let removed = set.remove(pair);
+                    prop_assert_eq!(removed, model.remove(&pair));
+                }
+                2 => {
+                    set.mark_found(pair);
+                    model.remove(&pair);
+                    found.insert(pair);
+                }
+                _ => {
+                    let evicted = set.remove_site(site(a));
+                    for p in &evicted {
+                        prop_assert!(model.remove(p));
+                    }
+                }
+            }
+            prop_assert_eq!(set.len(), model.len());
+            // Site membership agrees with the model.
+            for s in 0..8u32 {
+                let expect = model.iter().any(|p| p.contains(site(s)));
+                prop_assert_eq!(set.contains_site(site(s)), expect);
+            }
+        }
+    }
+
+    /// Decay is monotone non-increasing and eviction is permanent until
+    /// re-armed.
+    #[test]
+    fn decay_is_monotone(factor in 0.01f64..0.9, steps in 1usize..40) {
+        let t = DecayTable::new(factor, 0.05);
+        t.arm(site(1));
+        let mut last = t.probability(site(1));
+        for _ in 0..steps {
+            let evicted = t.decay(site(1));
+            let now = t.probability(site(1));
+            prop_assert!(now <= last + 1e-12);
+            if evicted {
+                prop_assert_eq!(now, 0.0);
+            }
+            last = now;
+        }
+    }
+
+    /// HB inference never attributes causality to the blocked thread's own
+    /// delay, and inferred pairs always involve a recorded delay site.
+    #[test]
+    fn hb_inference_edges_are_justified(
+        delays in proptest::collection::vec((0u64..3, 0u32..4, 0u64..500), 0..20),
+        accesses in proptest::collection::vec((0u64..3, 4u32..8, 0u64..1_000), 1..60),
+    ) {
+        let e = HbInference::new(50, 2, 64);
+        let mut delay_sites = std::collections::HashSet::new();
+        for (ctx, s, start) in &delays {
+            delay_sites.insert(site(*s));
+            e.record_delay(DelayRecord {
+                site: site(*s),
+                context: ContextId(*ctx),
+                start_ns: *start,
+                end_ns: start + 100,
+            });
+        }
+        for (ctx, s, t) in accesses {
+            for pair in e.on_access(ContextId(ctx), site(s), t) {
+                // One endpoint is the access; the other must be a delayed site.
+                let partner = pair.other(site(s));
+                prop_assert!(
+                    delay_sites.contains(&partner) || partner == site(s),
+                    "edge endpoint {partner:?} was never delayed"
+                );
+            }
+        }
+    }
+
+    /// Report sink: unique-bug count equals the number of distinct
+    /// unordered pairs reported, independent of order and repetition.
+    #[test]
+    fn report_dedup_is_exact(
+        reports in proptest::collection::vec((0u32..6, 0u32..6, any::<bool>()), 1..80),
+    ) {
+        let sink = ReportSink::new();
+        let mut model = std::collections::HashSet::new();
+        for (a, b, swap) in reports {
+            let (x, y) = if swap { (b, a) } else { (a, b) };
+            let v = Violation {
+                trapped: Party {
+                    site: site(x),
+                    context: ContextId(1),
+                    op_name: "p.a",
+                    kind: OpKind::Write,
+                    stack: None,
+                },
+                hitter: Party {
+                    site: site(y),
+                    context: ContextId(2),
+                    op_name: "p.b",
+                    kind: OpKind::Write,
+                    stack: None,
+                },
+                obj: ObjId(1),
+                time_ns: 0,
+            };
+            let is_new = sink.report(v);
+            prop_assert_eq!(is_new, model.insert(SitePair::new(site(x), site(y))));
+        }
+        prop_assert_eq!(sink.unique_bugs(), model.len());
+    }
+
+    /// Trap files round-trip arbitrary pair sets exactly.
+    #[test]
+    fn trap_file_round_trip(pairs in proptest::collection::vec((0u32..30, 0u32..30), 0..40)) {
+        let pairs: Vec<SitePair> = pairs
+            .into_iter()
+            .map(|(a, b)| SitePair::new(site(a), site(b)))
+            .collect();
+        let data = TrapFileData::from_pairs(&pairs);
+        let mut back = data.to_pairs();
+        let mut want = pairs;
+        back.sort();
+        want.sort();
+        prop_assert_eq!(back, want);
+    }
+}

@@ -1,0 +1,126 @@
+//! `repro`: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                       # every experiment at default scale
+//! repro table2 --modules 200      # one experiment
+//! repro fig8 --runs 50 --modules 75
+//! repro fig9 --scale 0.01        # faster, smaller time constants
+//! ```
+
+use tsvd_harness::experiments::{
+    coverage, ext_adaptive, ext_shared, fig8, fig9, fneg, resources, table1, table2, table3,
+    table4, validate, ExpOpts,
+};
+use tsvd_harness::report::Table;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <table1|table2|table3|table4|fig8|fig9|fneg|resources|ext|validate|coverage|all> \
+         [--modules N] [--runs N] [--seed N] [--scale F] [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts(args: &[String]) -> ExpOpts {
+    let mut opts = ExpOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            usage()
+        };
+        match flag {
+            "--modules" => opts.modules = value.parse().unwrap_or_else(|_| usage()),
+            "--runs" => opts.runs = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--scale" => opts.scale = value.parse().unwrap_or_else(|_| usage()),
+            "--threads" => opts.threads = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn emit(name: &str, tables: Vec<Table>) {
+    for (i, t) in tables.iter().enumerate() {
+        t.print();
+        let file = if tables.len() == 1 {
+            name.to_string()
+        } else {
+            format!("{name}_{}", (b'a' + i as u8) as char)
+        };
+        match t.save_csv(&file) {
+            Ok(path) => println!("[saved {}]\n", path.display()),
+            Err(e) => eprintln!("[csv save failed: {e}]"),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first() else { usage() };
+    let opts = parse_opts(&args[1..]);
+
+    let start = std::time::Instant::now();
+    match which.as_str() {
+        "table1" => emit(
+            "table1",
+            table1::run(&opts.with_modules(opts.modules.max(400))),
+        ),
+        "table2" => emit("table2", table2::run(&opts)),
+        "table3" => emit("table3", table3::run(&opts)),
+        "table4" => emit("table4", table4::run(&opts)),
+        "fig8" => {
+            let mut o = opts.with_modules(opts.modules.min(75));
+            if o.runs < 10 {
+                o.runs = 50;
+            }
+            emit("fig8", fig8::run(&o));
+        }
+        "fig9" => emit("fig9", fig9::run(&opts.with_modules(opts.modules.min(100)))),
+        "fneg" => emit("fneg", fneg::run(&opts.with_modules(opts.modules.min(100)))),
+        "resources" => emit("resources", resources::run(&opts)),
+        "ext" => {
+            emit("ext_adaptive", ext_adaptive::run(&opts));
+            emit(
+                "ext_shared",
+                ext_shared::run(&opts.with_modules(opts.modules.min(100))),
+            );
+        }
+        "validate" => emit(
+            "validate",
+            validate::run(&opts.with_modules(opts.modules.min(100))),
+        ),
+        "coverage" => emit("coverage", coverage::run(&opts)),
+        "all" => {
+            emit("table2", table2::run(&opts));
+            emit("table3", table3::run(&opts));
+            emit("table4", table4::run(&opts));
+            emit(
+                "table1",
+                table1::run(&opts.with_modules(opts.modules.max(400))),
+            );
+            let mut f8 = opts.with_modules(opts.modules.min(75));
+            if f8.runs < 10 {
+                f8.runs = 50;
+            }
+            emit("fig8", fig8::run(&f8));
+            emit("fig9", fig9::run(&opts.with_modules(opts.modules.min(100))));
+            emit("fneg", fneg::run(&opts.with_modules(opts.modules.min(100))));
+            emit("resources", resources::run(&opts));
+            emit("ext_adaptive", ext_adaptive::run(&opts));
+            emit(
+                "ext_shared",
+                ext_shared::run(&opts.with_modules(opts.modules.min(100))),
+            );
+            emit(
+                "validate",
+                validate::run(&opts.with_modules(opts.modules.min(100))),
+            );
+            emit("coverage", coverage::run(&opts));
+        }
+        _ => usage(),
+    }
+    eprintln!("[repro finished in {:.1}s]", start.elapsed().as_secs_f64());
+}

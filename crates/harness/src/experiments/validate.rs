@@ -1,0 +1,106 @@
+//! §5.2 bug validation: every reported bug re-confirms under focused
+//! reproduction.
+//!
+//! The paper's product teams confirmed all 80 reported bugs as real. The
+//! mechanical analog: take every bug TSVD found on the suite, re-run its
+//! module under the [`Focused`](tsvd_core::strategy::Focused) strategy
+//! (single pair, always-delay, lengthened delays), and count how many
+//! re-trigger. Reports are true by construction — validation measures
+//! *reproducibility*, the property that made the paper's reports
+//! actionable.
+
+use std::collections::HashMap;
+
+use tsvd_core::Runtime;
+use tsvd_workloads::module::ModuleCtx;
+use tsvd_workloads::suite::{build_suite, SuiteConfig};
+
+use crate::experiments::ExpOpts;
+use crate::report::{pct, Table};
+use crate::runner::{run_suite, DetectorKind};
+
+/// Runs the validation experiment.
+pub fn run(opts: &ExpOpts) -> Vec<Table> {
+    let suite = build_suite(SuiteConfig {
+        modules: opts.modules,
+        seed: opts.seed,
+    });
+    let by_name: HashMap<&str, &tsvd_workloads::Module> =
+        suite.iter().map(|m| (m.name(), m)).collect();
+    let mut options = opts.run_options();
+    options.runs = 2;
+
+    // Discovery pass.
+    let outcome = run_suite(&suite, DetectorKind::Tsvd, &options);
+
+    // Focused replay: up to 3 attempts per bug, 4× delays.
+    let mut confirmed = 0usize;
+    let mut attempts_hist = [0usize; 4]; // Index = attempts needed; [0] unused.
+    for (module_name, pair) in outcome.bugs.keys() {
+        let module = by_name[module_name.as_str()];
+        for (attempt, slot) in attempts_hist.iter_mut().enumerate().skip(1) {
+            let _ = attempt;
+            let rt = Runtime::focused(options.config.clone(), *pair, 4);
+            let ctx = ModuleCtx::new(rt.clone(), options.threads);
+            module.run(&ctx);
+            if rt.reports().bug_pairs().contains(pair) {
+                confirmed += 1;
+                *slot += 1;
+                break;
+            }
+        }
+    }
+
+    let total = outcome.bugs.len();
+    let mut t = Table::new(
+        format!(
+            "§5.2 bug validation by focused replay ({} modules)",
+            suite.len()
+        ),
+        &["metric", "value"],
+    );
+    t.row(vec![
+        "bugs reported by TSVD (2 runs)".into(),
+        total.to_string(),
+    ]);
+    t.row(vec![
+        "confirmed by focused replay (≤3 tries)".into(),
+        confirmed.to_string(),
+    ]);
+    t.row(vec![
+        "confirmation rate".into(),
+        if total == 0 {
+            "n/a".into()
+        } else {
+            pct(confirmed as f64 / total as f64)
+        },
+    ]);
+    t.row(vec![
+        "  confirmed on 1st replay".into(),
+        attempts_hist[1].to_string(),
+    ]);
+    t.row(vec![
+        "  confirmed on 2nd replay".into(),
+        attempts_hist[2].to_string(),
+    ]);
+    t.row(vec![
+        "  confirmed on 3rd replay".into(),
+        attempts_hist[3].to_string(),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_runs_on_tiny_suite() {
+        let opts = ExpOpts {
+            modules: 25,
+            ..ExpOpts::default()
+        };
+        let tables = run(&opts);
+        assert_eq!(tables[0].len(), 6);
+    }
+}

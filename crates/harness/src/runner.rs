@@ -1,0 +1,332 @@
+//! The suite runner: executes modules under detectors and aggregates.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tsvd_core::near_miss::SitePair;
+use tsvd_core::{Runtime, TrapFileData, TsvdConfig};
+use tsvd_workloads::module::{Expectation, Module, ModuleCtx};
+
+/// The detectors of Table 2 (plus the passive baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorKind {
+    /// Instrumented, never delays — the overhead baseline.
+    Noop,
+    /// §3.2 DynamicRandom.
+    DynamicRandom,
+    /// §3.3 StaticRandom — the paper's DataCollider emulation.
+    DataCollider,
+    /// §3.5 TSVD-HB.
+    TsvdHb,
+    /// §3.4 TSVD.
+    Tsvd,
+}
+
+impl DetectorKind {
+    /// The four detectors compared in Table 2, in the paper's row order.
+    pub const TABLE2: [DetectorKind; 4] = [
+        DetectorKind::DataCollider,
+        DetectorKind::DynamicRandom,
+        DetectorKind::TsvdHb,
+        DetectorKind::Tsvd,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorKind::Noop => "Baseline",
+            DetectorKind::DynamicRandom => "DynamicRandom",
+            DetectorKind::DataCollider => "DataCollider",
+            DetectorKind::TsvdHb => "TSVD-HB",
+            DetectorKind::Tsvd => "TSVD",
+        }
+    }
+
+    /// Builds a fresh runtime of this kind.
+    pub fn build(self, config: TsvdConfig) -> Arc<Runtime> {
+        match self {
+            DetectorKind::Noop => Runtime::noop(config),
+            DetectorKind::DynamicRandom => Runtime::dynamic_random(config),
+            DetectorKind::DataCollider => Runtime::static_random(config),
+            DetectorKind::TsvdHb => Runtime::tsvd_hb(config),
+            DetectorKind::Tsvd => Runtime::tsvd(config),
+        }
+    }
+}
+
+/// A bug, uniquely identified suite-wide: generated modules share scenario
+/// source, so the paper's static-location-pair key is scoped per module.
+pub type BugKey = (String, SitePair);
+
+/// Options for a suite run.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Detector configuration (already scaled).
+    pub config: TsvdConfig,
+    /// Pool workers per module.
+    pub threads: usize,
+    /// Number of test runs (trap files carry over between runs).
+    pub runs: usize,
+    /// Extension (beyond the paper): one *shared* trap file for the whole
+    /// suite instead of one per module. In a monorepo, modules exercise the
+    /// same library code, so a dangerous pair learned while testing one
+    /// module pre-arms the same static locations everywhere else — even
+    /// within run 1, for modules scheduled later.
+    pub shared_trap_file: bool,
+}
+
+impl RunOptions {
+    /// Two runs at CI scale — the paper's standard setting.
+    pub fn standard() -> RunOptions {
+        RunOptions {
+            config: TsvdConfig::paper().scaled(0.02),
+            threads: 2,
+            runs: 2,
+            shared_trap_file: false,
+        }
+    }
+}
+
+/// Per-run aggregate of a suite execution.
+#[derive(Debug, Clone, Default)]
+pub struct RunAggregate {
+    /// Bugs first discovered in this run.
+    pub new_bugs: Vec<BugKey>,
+    /// Wall-clock nanoseconds spent executing modules this run.
+    pub wall_ns: u64,
+    /// Delays injected this run.
+    pub delays: u64,
+    /// Actual nanoseconds slept in injected delays this run.
+    pub delay_ns: u64,
+    /// `OnCall`s observed this run.
+    pub on_calls: u64,
+}
+
+/// Outcome of running one suite under one detector for N runs.
+#[derive(Debug, Clone)]
+pub struct SuiteOutcome {
+    /// Detector display name.
+    pub detector: &'static str,
+    /// Per-run aggregates, index 0 = run 1.
+    pub runs: Vec<RunAggregate>,
+    /// Every unique bug found, with the (1-based) run that found it.
+    pub bugs: HashMap<BugKey, usize>,
+    /// Total occurrences per bug (repeat catches included).
+    pub occurrences: HashMap<BugKey, usize>,
+    /// Peak strategy memory estimate across module runs, bytes.
+    pub peak_strategy_bytes: usize,
+}
+
+impl SuiteOutcome {
+    /// Unique bugs found in run `run` (1-based).
+    pub fn bugs_in_run(&self, run: usize) -> usize {
+        self.runs.get(run - 1).map_or(0, |r| r.new_bugs.len())
+    }
+
+    /// Total unique bugs.
+    pub fn total_bugs(&self) -> usize {
+        self.bugs.len()
+    }
+
+    /// Total delays injected across runs.
+    pub fn total_delays(&self) -> u64 {
+        self.runs.iter().map(|r| r.delays).sum()
+    }
+
+    /// Total nanoseconds actually slept in injected delays.
+    pub fn total_delay_ns(&self) -> u64 {
+        self.runs.iter().map(|r| r.delay_ns).sum()
+    }
+
+    /// Total wall time across runs.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.runs.iter().map(|r| r.wall_ns).sum()
+    }
+
+    /// Cumulative unique-bug counts after each run (for Fig. 8).
+    pub fn cumulative_bugs(&self) -> Vec<usize> {
+        let mut total = 0;
+        self.runs
+            .iter()
+            .map(|r| {
+                total += r.new_bugs.len();
+                total
+            })
+            .collect()
+    }
+}
+
+/// Runs `module` once under a fresh runtime, returning the runtime and the
+/// wall time.
+pub fn run_module_once(
+    module: &Module,
+    kind: DetectorKind,
+    options: &RunOptions,
+    trap_file: Option<&TrapFileData>,
+) -> (Arc<Runtime>, u64) {
+    let rt = kind.build(options.config.clone());
+    if let Some(tf) = trap_file {
+        rt.import_trap_file(tf);
+    }
+    let ctx = ModuleCtx::new(rt.clone(), options.threads);
+    let start = Instant::now();
+    module.run(&ctx);
+    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    (rt, wall_ns)
+}
+
+/// Runs the whole suite under `kind` for `options.runs` runs, carrying each
+/// module's trap file from run to run (§3.4.6).
+pub fn run_suite(suite: &[Module], kind: DetectorKind, options: &RunOptions) -> SuiteOutcome {
+    let mut outcome = SuiteOutcome {
+        detector: kind.name(),
+        runs: Vec::with_capacity(options.runs),
+        bugs: HashMap::new(),
+        occurrences: HashMap::new(),
+        peak_strategy_bytes: 0,
+    };
+    let mut trap_files: HashMap<String, TrapFileData> = HashMap::new();
+    let mut shared: TrapFileData = TrapFileData::default();
+
+    for run_idx in 0..options.runs {
+        let mut agg = RunAggregate::default();
+        // Each test run gets fresh randomness (the paper re-runs the same
+        // tools, whose sampling differs run to run); without this the
+        // probabilistic detectors would repeat themselves exactly and
+        // Fig. 8's curves could never climb.
+        let mut run_options = options.clone();
+        run_options.config.seed = options
+            .config
+            .seed
+            .wrapping_add((run_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        for module in suite {
+            let import = if options.shared_trap_file {
+                Some(&shared)
+            } else {
+                trap_files.get(module.name())
+            };
+            let (rt, wall_ns) = run_module_once(module, kind, &run_options, import);
+            agg.wall_ns += wall_ns;
+            agg.delays += rt.stats().delays_injected();
+            agg.delay_ns += rt.stats().delay_total_ns();
+            agg.on_calls += rt.stats().on_calls();
+            outcome.peak_strategy_bytes =
+                outcome.peak_strategy_bytes.max(rt.strategy_memory_bytes());
+            for (pair, count) in rt.reports().occurrence_counts() {
+                let key: BugKey = (module.name().to_owned(), pair);
+                *outcome.occurrences.entry(key.clone()).or_insert(0) += count;
+                if !outcome.bugs.contains_key(&key) {
+                    outcome.bugs.insert(key.clone(), run_idx + 1);
+                    agg.new_bugs.push(key);
+                }
+            }
+            if let Some(tf) = rt.export_trap_file() {
+                if options.shared_trap_file {
+                    // Merge, deduplicating textual pairs.
+                    for pair in tf.pairs {
+                        if !shared.pairs.contains(&pair) {
+                            shared.pairs.push(pair);
+                        }
+                    }
+                } else {
+                    trap_files.insert(module.name().to_owned(), tf);
+                }
+            }
+        }
+        outcome.runs.push(agg);
+    }
+    outcome
+}
+
+/// Runs the suite once per run under the passive baseline and returns the
+/// total wall time, for overhead computation.
+pub fn baseline_wall_ns(suite: &[Module], options: &RunOptions) -> u64 {
+    let outcome = run_suite(suite, DetectorKind::Noop, options);
+    outcome.total_wall_ns()
+}
+
+/// Overhead of `outcome` relative to a baseline wall time, in percent.
+pub fn overhead_pct(outcome: &SuiteOutcome, baseline_ns: u64) -> f64 {
+    if baseline_ns == 0 {
+        return 0.0;
+    }
+    (outcome.total_wall_ns() as f64 - baseline_ns as f64) / baseline_ns as f64 * 100.0
+}
+
+/// Splits the found bugs by whether their module's ground truth says they
+/// were planted (sanity: a `Clean` module must never appear here).
+pub fn check_no_false_positives(suite: &[Module], outcome: &SuiteOutcome) -> Result<(), String> {
+    let clean: HashSet<&str> = suite
+        .iter()
+        .filter(|m| m.expectation() == Expectation::Clean)
+        .map(|m| m.name())
+        .collect();
+    for (module, pair) in outcome.bugs.keys() {
+        if clean.contains(module.as_str()) {
+            return Err(format!(
+                "false positive: clean module {module} reported pair {} / {}",
+                pair.first, pair.second
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_workloads::suite::{build_suite, SuiteConfig};
+
+    fn options() -> RunOptions {
+        RunOptions {
+            config: TsvdConfig::paper().scaled(0.02),
+            threads: 2,
+            runs: 2,
+            shared_trap_file: false,
+        }
+    }
+
+    #[test]
+    fn tsvd_finds_bugs_and_no_false_positives_on_tiny_suite() {
+        let suite = build_suite(SuiteConfig::tiny());
+        let outcome = run_suite(&suite, DetectorKind::Tsvd, &options());
+        check_no_false_positives(&suite, &outcome).expect("no false positives ever");
+        assert!(
+            outcome.total_bugs() >= 1,
+            "tiny suite has 7+ planted bugs; TSVD must catch at least one"
+        );
+    }
+
+    #[test]
+    fn noop_finds_nothing() {
+        let suite = build_suite(SuiteConfig::tiny());
+        let outcome = run_suite(&suite, DetectorKind::Noop, &options());
+        assert_eq!(outcome.total_bugs(), 0);
+        assert_eq!(outcome.total_delays(), 0);
+    }
+
+    #[test]
+    fn cumulative_bugs_is_monotonic() {
+        let suite = build_suite(SuiteConfig::tiny());
+        let outcome = run_suite(&suite, DetectorKind::Tsvd, &options());
+        let cum = outcome.cumulative_bugs();
+        assert_eq!(cum.len(), 2);
+        assert!(cum[1] >= cum[0]);
+        assert_eq!(*cum.last().expect("two runs"), outcome.total_bugs());
+    }
+
+    #[test]
+    fn overhead_is_computed_relative_to_baseline() {
+        let suite = build_suite(SuiteConfig {
+            modules: 8,
+            seed: 5,
+        });
+        let opts = options();
+        let base = baseline_wall_ns(&suite, &opts);
+        assert!(base > 0);
+        let outcome = run_suite(&suite, DetectorKind::Tsvd, &opts);
+        let pct = overhead_pct(&outcome, base);
+        assert!(pct > -90.0, "overhead {pct}% looks wrong");
+    }
+}

@@ -1,0 +1,45 @@
+//! Task-parallel substrate: the .NET TPL analog the paper's workloads use.
+//!
+//! The programs TSVD targets (§2.3) have three properties this crate
+//! reproduces:
+//!
+//! 1. they dynamically create **many more tasks than threads** and dispatch
+//!    them onto a small pool of background workers;
+//! 2. task handles are **first-class values**: any task can join with any
+//!    other task via its handle, so fork/join graphs are *not*
+//!    series-parallel;
+//! 3. synchronization is frequent relative to instrumented accesses.
+//!
+//! Every fork, join, task completion, and instrumented-lock transfer is
+//! reported to the attached [`tsvd_core::Runtime`] as a
+//! [`SyncEvent`](tsvd_core::SyncEvent). The TSVD strategy ignores these by
+//! design; the TSVD-HB comparison variant builds its vector clocks from
+//! them.
+//!
+//! The crate also reproduces the .NET behaviour described in §4: a runtime
+//! optimization executes *fast* async functions synchronously, hiding bugs
+//! during tests that mock I/O. [`Pool::set_force_async`] is the analog of
+//! TSVD's instrumentation that forces all async functions to actually run
+//! asynchronously.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsvd_tasks::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let t = pool.spawn(|| 6 * 7);
+//! assert_eq!(t.join(), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod parallel;
+pub mod pool;
+pub mod sync;
+pub mod task;
+
+pub use parallel::{parallel_for_each, parallel_invoke};
+pub use pool::Pool;
+pub use sync::TsvdMutex;
+pub use task::JoinHandle;

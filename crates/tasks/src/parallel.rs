@@ -1,0 +1,102 @@
+//! Data-parallel helpers: the `Parallel.ForEach` / `Parallel.Invoke`
+//! analogs (used by the network-validation bug of Fig. 10 b).
+
+use crate::pool::Pool;
+
+/// Runs `body` once per item of `items`, distributing the invocations over
+/// the pool's workers, and returns when all of them finished — the analog
+/// of .NET's `Parallel.ForEach`.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// use tsvd_tasks::{parallel_for_each, Pool};
+///
+/// let pool = Pool::new(4);
+/// let sum = Arc::new(AtomicUsize::new(0));
+/// let s = sum.clone();
+/// parallel_for_each(&pool, 1..=10usize, move |n| {
+///     s.fetch_add(n, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.load(Ordering::Relaxed), 55);
+/// ```
+pub fn parallel_for_each<I, T, F>(pool: &Pool, items: I, body: F)
+where
+    I: IntoIterator<Item = T>,
+    T: Send + 'static,
+    F: Fn(T) + Send + Sync + 'static,
+{
+    let body = std::sync::Arc::new(body);
+    let handles: Vec<_> = items
+        .into_iter()
+        .map(|item| {
+            let body = body.clone();
+            pool.spawn(move || body(item))
+        })
+        .collect();
+    for h in handles {
+        h.join();
+    }
+}
+
+/// Runs every closure in `actions` concurrently and waits for all of them —
+/// the analog of `Parallel.Invoke`.
+pub fn parallel_invoke(pool: &Pool, actions: Vec<Box<dyn FnOnce() + Send>>) {
+    let handles: Vec<_> = actions.into_iter().map(|a| pool.spawn(a)).collect();
+    for h in handles {
+        h.join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn for_each_visits_every_item() {
+        let pool = Pool::new(3);
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = seen.clone();
+        parallel_for_each(&pool, 0..100usize, move |n| {
+            seen2.fetch_add(n, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn for_each_on_empty_input() {
+        let pool = Pool::new(2);
+        parallel_for_each(&pool, std::iter::empty::<u32>(), |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn for_each_actually_parallelizes() {
+        // With 4 workers and 4 items that each wait for the others, the
+        // items must overlap in time or the barrier would deadlock.
+        let pool = Pool::new(4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        parallel_for_each(&pool, 0..4usize, move |_| {
+            barrier.wait();
+        });
+    }
+
+    #[test]
+    fn invoke_runs_all_actions() {
+        let pool = Pool::new(2);
+        let count = Arc::new(AtomicUsize::new(0));
+        let actions: Vec<Box<dyn FnOnce() + Send>> = (0..5)
+            .map(|_| {
+                let c = count.clone();
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        parallel_invoke(&pool, actions);
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the task substrate: arbitrary task DAGs
+//! compute the same values as their sequential model, and the sync-event
+//! stream stays consistent.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use tsvd_core::{Runtime, TsvdConfig};
+use tsvd_tasks::Pool;
+
+/// A little expression language evaluated both sequentially and as a task
+/// DAG: every node spawns its children and combines their results.
+#[derive(Debug, Clone)]
+enum Expr {
+    Leaf(u8),
+    Add(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = any::<u8>().prop_map(Expr::Leaf);
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_seq(e: &Expr) -> u64 {
+    match e {
+        Expr::Leaf(v) => u64::from(*v),
+        Expr::Add(a, b) => eval_seq(a).wrapping_add(eval_seq(b)),
+        Expr::Mul(a, b) => eval_seq(a).wrapping_mul(eval_seq(b)),
+    }
+}
+
+fn eval_tasks(pool: &Arc<Pool>, e: Expr) -> u64 {
+    match e {
+        Expr::Leaf(v) => u64::from(v),
+        Expr::Add(a, b) => {
+            let pa = pool.clone();
+            let ta = pool.spawn(move || eval_tasks(&pa, *a));
+            let pb = pool.clone();
+            let tb = pool.spawn(move || eval_tasks(&pb, *b));
+            ta.join().wrapping_add(tb.join())
+        }
+        Expr::Mul(a, b) => {
+            let pa = pool.clone();
+            let ta = pool.spawn(move || eval_tasks(&pa, *a));
+            let pb = pool.clone();
+            let tb = pool.spawn(move || eval_tasks(&pb, *b));
+            ta.join().wrapping_mul(tb.join())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary task DAGs (nested spawns joined across levels) compute the
+    /// sequential result, even on a single-worker pool (the helping logic
+    /// keeps deep joins deadlock-free).
+    #[test]
+    fn task_dag_matches_sequential_eval(e in expr(), threads in 1usize..4) {
+        let pool = Arc::new(Pool::new(threads));
+        let expected = eval_seq(&e);
+        prop_assert_eq!(eval_tasks(&pool, e), expected);
+    }
+
+    /// Fork/end/join events stay balanced: every spawned-and-joined task
+    /// contributes exactly one fork, one end, and at least one join.
+    #[test]
+    fn sync_event_stream_is_balanced(n in 1usize..24) {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let pool = Pool::with_runtime(2, rt.clone());
+        let handles: Vec<_> = (0..n).map(|i| pool.spawn(move || i)).collect();
+        let sum: usize = handles.into_iter().map(|h| h.join()).sum();
+        prop_assert_eq!(sum, n * (n - 1) / 2);
+        // Fork + TaskEnd + Join per task = exactly 3n events.
+        prop_assert_eq!(rt.stats().sync_events(), 3 * n as u64);
+    }
+
+    /// `then` chains compute left-to-right function composition.
+    #[test]
+    fn then_chain_composes(start in any::<u8>(), deltas in proptest::collection::vec(any::<u8>(), 0..6)) {
+        let pool = Pool::new(2);
+        let mut handle = pool.spawn(move || u64::from(start));
+        for d in &deltas {
+            let d = u64::from(*d);
+            handle = handle.then(&pool, move |x| x.wrapping_add(d));
+        }
+        let expected = deltas.iter().fold(u64::from(start), |a, &d| a.wrapping_add(u64::from(d)));
+        prop_assert_eq!(handle.join(), expected);
+    }
+}

@@ -1,0 +1,492 @@
+//! A persistent (immutable, structurally shared) AVL tree map.
+//!
+//! Every update returns a new map that shares all untouched subtrees with the
+//! original via [`Arc`]. This is the representation the paper chooses for
+//! TSVD-HB vector clocks: copying a clock on a message send is a pointer
+//! copy, while an increment rebuilds only the `O(log n)` spine.
+
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A persistent AVL tree map from `K` to `V`.
+///
+/// Cloning an [`AvlMap`] is `O(1)` and shares structure with the original.
+///
+/// # Examples
+///
+/// ```
+/// use tsvd_vc::AvlMap;
+///
+/// let a = AvlMap::new().insert(1, "one").insert(2, "two");
+/// let b = a.insert(2, "TWO");
+/// assert_eq!(a.get(&2), Some(&"two"));
+/// assert_eq!(b.get(&2), Some(&"TWO"));
+/// ```
+#[derive(Clone)]
+pub struct AvlMap<K, V> {
+    root: Option<Arc<Node<K, V>>>,
+}
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    height: u8,
+    len: usize,
+    left: Option<Arc<Node<K, V>>>,
+    right: Option<Arc<Node<K, V>>>,
+}
+
+fn height<K, V>(n: &Option<Arc<Node<K, V>>>) -> u8 {
+    n.as_ref().map_or(0, |n| n.height)
+}
+
+fn len<K, V>(n: &Option<Arc<Node<K, V>>>) -> usize {
+    n.as_ref().map_or(0, |n| n.len)
+}
+
+impl<K: Ord + Clone, V: Clone> Node<K, V> {
+    fn make(
+        key: K,
+        value: V,
+        left: Option<Arc<Node<K, V>>>,
+        right: Option<Arc<Node<K, V>>>,
+    ) -> Arc<Node<K, V>> {
+        Arc::new(Node {
+            height: 1 + height(&left).max(height(&right)),
+            len: 1 + len(&left) + len(&right),
+            key,
+            value,
+            left,
+            right,
+        })
+    }
+
+    fn balance_factor(&self) -> i16 {
+        height(&self.left) as i16 - height(&self.right) as i16
+    }
+
+    /// Rebuilds this node with the given children, restoring the AVL
+    /// invariant with at most two rotations.
+    fn balanced(
+        key: K,
+        value: V,
+        left: Option<Arc<Node<K, V>>>,
+        right: Option<Arc<Node<K, V>>>,
+    ) -> Arc<Node<K, V>> {
+        let bf = height(&left) as i16 - height(&right) as i16;
+        if bf > 1 {
+            // Left-heavy. `bf > 1` implies `left` exists.
+            let l = left.expect("left child must exist when left-heavy");
+            if l.balance_factor() >= 0 {
+                // Left-left: single right rotation.
+                let new_right = Node::make(key, value, l.right.clone(), right);
+                Node::make(
+                    l.key.clone(),
+                    l.value.clone(),
+                    l.left.clone(),
+                    Some(new_right),
+                )
+            } else {
+                // Left-right: rotate left child left, then rotate right.
+                let lr = l.right.clone().expect("left-right child must exist");
+                let new_left = Node::make(
+                    l.key.clone(),
+                    l.value.clone(),
+                    l.left.clone(),
+                    lr.left.clone(),
+                );
+                let new_right = Node::make(key, value, lr.right.clone(), right);
+                Node::make(
+                    lr.key.clone(),
+                    lr.value.clone(),
+                    Some(new_left),
+                    Some(new_right),
+                )
+            }
+        } else if bf < -1 {
+            // Right-heavy, mirror image.
+            let r = right.expect("right child must exist when right-heavy");
+            if r.balance_factor() <= 0 {
+                let new_left = Node::make(key, value, left, r.left.clone());
+                Node::make(
+                    r.key.clone(),
+                    r.value.clone(),
+                    Some(new_left),
+                    r.right.clone(),
+                )
+            } else {
+                let rl = r.left.clone().expect("right-left child must exist");
+                let new_left = Node::make(key, value, left, rl.left.clone());
+                let new_right = Node::make(
+                    r.key.clone(),
+                    r.value.clone(),
+                    rl.right.clone(),
+                    r.right.clone(),
+                );
+                Node::make(
+                    rl.key.clone(),
+                    rl.value.clone(),
+                    Some(new_left),
+                    Some(new_right),
+                )
+            }
+        } else {
+            Node::make(key, value, left, right)
+        }
+    }
+
+    fn insert(node: &Option<Arc<Node<K, V>>>, key: K, value: V) -> Arc<Node<K, V>> {
+        match node {
+            None => Node::make(key, value, None, None),
+            Some(n) => match key.cmp(&n.key) {
+                Ordering::Equal => Node::make(key, value, n.left.clone(), n.right.clone()),
+                Ordering::Less => {
+                    let new_left = Node::insert(&n.left, key, value);
+                    Node::balanced(
+                        n.key.clone(),
+                        n.value.clone(),
+                        Some(new_left),
+                        n.right.clone(),
+                    )
+                }
+                Ordering::Greater => {
+                    let new_right = Node::insert(&n.right, key, value);
+                    Node::balanced(
+                        n.key.clone(),
+                        n.value.clone(),
+                        n.left.clone(),
+                        Some(new_right),
+                    )
+                }
+            },
+        }
+    }
+
+    /// Removes `key`, returning the new subtree (or `None` if it becomes
+    /// empty) and whether the key was present.
+    fn remove(node: &Option<Arc<Node<K, V>>>, key: &K) -> (Option<Arc<Node<K, V>>>, bool) {
+        match node {
+            None => (None, false),
+            Some(n) => match key.cmp(&n.key) {
+                Ordering::Less => {
+                    let (new_left, removed) = Node::remove(&n.left, key);
+                    if !removed {
+                        return (Some(n.clone()), false);
+                    }
+                    (
+                        Some(Node::balanced(
+                            n.key.clone(),
+                            n.value.clone(),
+                            new_left,
+                            n.right.clone(),
+                        )),
+                        true,
+                    )
+                }
+                Ordering::Greater => {
+                    let (new_right, removed) = Node::remove(&n.right, key);
+                    if !removed {
+                        return (Some(n.clone()), false);
+                    }
+                    (
+                        Some(Node::balanced(
+                            n.key.clone(),
+                            n.value.clone(),
+                            n.left.clone(),
+                            new_right,
+                        )),
+                        true,
+                    )
+                }
+                Ordering::Equal => match (&n.left, &n.right) {
+                    (None, None) => (None, true),
+                    (Some(l), None) => (Some(l.clone()), true),
+                    (None, Some(r)) => (Some(r.clone()), true),
+                    (Some(_), Some(r)) => {
+                        // Replace with the in-order successor (min of right).
+                        let (succ_k, succ_v) = Node::min_entry(r);
+                        let (new_right, _) = Node::remove(&n.right, &succ_k);
+                        (
+                            Some(Node::balanced(succ_k, succ_v, n.left.clone(), new_right)),
+                            true,
+                        )
+                    }
+                },
+            },
+        }
+    }
+
+    fn min_entry(node: &Arc<Node<K, V>>) -> (K, V) {
+        let mut cur = node;
+        while let Some(l) = &cur.left {
+            cur = l;
+        }
+        (cur.key.clone(), cur.value.clone())
+    }
+}
+
+impl<K, V> Default for AvlMap<K, V> {
+    fn default() -> Self {
+        AvlMap { root: None }
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> AvlMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the number of entries.
+    pub fn len(&self) -> usize {
+        len(&self.root)
+    }
+
+    /// Returns `true` if the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Returns a new map with `key` bound to `value`.
+    pub fn insert(&self, key: K, value: V) -> Self {
+        AvlMap {
+            root: Some(Node::insert(&self.root, key, value)),
+        }
+    }
+
+    /// Returns a new map without `key` (and whether it was present).
+    pub fn remove(&self, key: &K) -> (Self, bool) {
+        let (root, removed) = Node::remove(&self.root, key);
+        (AvlMap { root }, removed)
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                Ordering::Equal => return Some(&n.value),
+                Ordering::Less => cur = n.left.as_deref(),
+                Ordering::Greater => cur = n.right.as_deref(),
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Returns `true` if `self` and `other` share the same root node.
+    ///
+    /// This is the `O(1)` fast path the paper exploits: after a fork-join
+    /// with no intervening TSVD points, the joined clock *is* the same
+    /// object, so an element-wise max can be skipped entirely.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        match (&self.root, &other.root) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Iterates over entries in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        let mut stack = Vec::with_capacity(height(&self.root) as usize);
+        let mut cur = self.root.as_deref();
+        while let Some(n) = cur {
+            stack.push(n);
+            cur = n.left.as_deref();
+        }
+        Iter { stack }
+    }
+
+    /// Checks the AVL balance and ordering invariants (test helper).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> bool {
+        fn check<K: Ord, V>(n: &Option<Arc<Node<K, V>>>) -> Option<(u8, usize)> {
+            match n {
+                None => Some((0, 0)),
+                Some(n) => {
+                    let (lh, ll) = check(&n.left)?;
+                    let (rh, rl) = check(&n.right)?;
+                    if (lh as i16 - rh as i16).abs() > 1 {
+                        return None;
+                    }
+                    if let Some(l) = &n.left {
+                        if l.key >= n.key {
+                            return None;
+                        }
+                    }
+                    if let Some(r) = &n.right {
+                        if r.key <= n.key {
+                            return None;
+                        }
+                    }
+                    let h = 1 + lh.max(rh);
+                    let l = 1 + ll + rl;
+                    if h != n.height || l != n.len {
+                        return None;
+                    }
+                    Some((h, l))
+                }
+            }
+        }
+        check(&self.root).is_some()
+    }
+}
+
+/// In-order iterator over an [`AvlMap`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.stack.pop()?;
+        let mut cur = node.right.as_deref();
+        while let Some(n) = cur {
+            self.stack.push(n);
+            cur = n.left.as_deref();
+        }
+        Some((&node.key, &node.value))
+    }
+}
+
+impl<K: Ord + Clone + std::fmt::Debug, V: Clone + std::fmt::Debug> std::fmt::Debug
+    for AvlMap<K, V>
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + PartialEq> PartialEq for AvlMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<K: Ord + Clone, V: Clone + Eq> Eq for AvlMap<K, V> {}
+
+impl<K: Ord + Clone, V: Clone> FromIterator<(K, V)> for AvlMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        iter.into_iter()
+            .fold(AvlMap::new(), |m, (k, v)| m.insert(k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map() {
+        let m: AvlMap<u64, u64> = AvlMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.get(&1), None);
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let m = AvlMap::new().insert(2, "b").insert(1, "a").insert(3, "c");
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(&1), Some(&"a"));
+        assert_eq!(m.get(&2), Some(&"b"));
+        assert_eq!(m.get(&3), Some(&"c"));
+        assert_eq!(m.get(&4), None);
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn insert_overwrites() {
+        let m = AvlMap::new().insert(1, 10).insert(1, 20);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&1), Some(&20));
+    }
+
+    #[test]
+    fn persistence_after_insert() {
+        let a = AvlMap::new().insert(1, 10);
+        let b = a.insert(1, 20);
+        let c = a.insert(2, 30);
+        assert_eq!(a.get(&1), Some(&10));
+        assert_eq!(b.get(&1), Some(&20));
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&2), Some(&30));
+        assert_eq!(a.len(), 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn ascending_insert_stays_balanced() {
+        let mut m = AvlMap::new();
+        for i in 0..1000u64 {
+            m = m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.check_invariants());
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn descending_insert_stays_balanced() {
+        let mut m = AvlMap::new();
+        for i in (0..1000u64).rev() {
+            m = m.insert(i, i);
+        }
+        assert!(m.check_invariants());
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn remove_leaf_and_internal() {
+        let mut m = AvlMap::new();
+        for i in 0..64u64 {
+            m = m.insert(i, i);
+        }
+        let (m2, removed) = m.remove(&31);
+        assert!(removed);
+        assert_eq!(m2.len(), 63);
+        assert_eq!(m2.get(&31), None);
+        assert_eq!(m.get(&31), Some(&31), "original is untouched");
+        assert!(m2.check_invariants());
+        let (m3, removed) = m2.remove(&31);
+        assert!(!removed);
+        assert_eq!(m3.len(), 63);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let m: AvlMap<u64, u64> = [5, 3, 8, 1, 9, 2].iter().map(|&k| (k, k)).collect();
+        let keys: Vec<u64> = m.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 5, 8, 9]);
+    }
+
+    #[test]
+    fn ptr_eq_fast_path() {
+        let a = AvlMap::new().insert(1u64, 1u64);
+        let b = a.clone();
+        assert!(a.ptr_eq(&b));
+        let c = a.insert(2, 2);
+        assert!(!a.ptr_eq(&c));
+        let empty1: AvlMap<u64, u64> = AvlMap::new();
+        let empty2: AvlMap<u64, u64> = AvlMap::new();
+        assert!(empty1.ptr_eq(&empty2));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        let a = AvlMap::new().insert(1, 1).insert(2, 2);
+        let b = AvlMap::new().insert(2, 2).insert(1, 1);
+        assert_eq!(a, b);
+        assert!(!a.ptr_eq(&b));
+    }
+}

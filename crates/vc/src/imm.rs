@@ -1,0 +1,258 @@
+//! Immutable vector clocks over persistent AVL maps.
+//!
+//! These are the clocks TSVD-HB uses (§3.5). The three cost-model properties
+//! the paper relies on are all present:
+//!
+//! 1. **Send is `O(1)`** — [`ImmutableVc::clone`] copies a pointer.
+//! 2. **Increment is `O(log n)`** — [`ImmutableVc::increment`] rebuilds only
+//!    the spine of the AVL map, and TSVD-HB only increments at (infrequent)
+//!    TSVD points.
+//! 3. **Join has an `O(1)` fast path** — [`ImmutableVc::join`] first checks
+//!    reference equality; a fork/join that crossed no TSVD point joins the
+//!    *same* clock object and skips the element-wise max entirely.
+
+use crate::avl::AvlMap;
+use crate::{ClockId, ClockOrder, Stamp};
+
+/// An immutable vector clock.
+///
+/// Missing components are implicitly zero, so freshly created tasks cost
+/// nothing until they pass a TSVD point.
+///
+/// # Examples
+///
+/// ```
+/// use tsvd_vc::{ImmutableVc, ClockOrder};
+///
+/// let a = ImmutableVc::new().increment(1);
+/// let b = a.increment(2);
+/// assert_eq!(a.compare(&b), ClockOrder::Before);
+/// ```
+#[derive(Clone, Default)]
+pub struct ImmutableVc {
+    map: AvlMap<ClockId, Stamp>,
+}
+
+impl ImmutableVc {
+    /// Creates the zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the component for `id` (zero if absent).
+    pub fn get(&self, id: ClockId) -> Stamp {
+        self.map.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Returns a clock with component `id` incremented by one.
+    pub fn increment(&self, id: ClockId) -> Self {
+        ImmutableVc {
+            map: self.map.insert(id, self.get(id) + 1),
+        }
+    }
+
+    /// Returns a clock with component `id` set to `stamp`.
+    pub fn with(&self, id: ClockId, stamp: Stamp) -> Self {
+        ImmutableVc {
+            map: self.map.insert(id, stamp),
+        }
+    }
+
+    /// Returns the element-wise maximum of the two clocks.
+    ///
+    /// When the clocks are the same object (the common fork/join-without-
+    /// TSVD-points case) this is `O(1)`; it also short-circuits when either
+    /// side is empty.
+    pub fn join(&self, other: &Self) -> Self {
+        if self.map.ptr_eq(&other.map) || other.map.is_empty() {
+            return self.clone();
+        }
+        if self.map.is_empty() {
+            return other.clone();
+        }
+        // Merge the smaller clock into the larger one to minimize rebuilds.
+        let (base, add) = if self.map.len() >= other.map.len() {
+            (&self.map, &other.map)
+        } else {
+            (&other.map, &self.map)
+        };
+        let mut out = base.clone();
+        for (&id, &stamp) in add.iter() {
+            if out.get(&id).copied().unwrap_or(0) < stamp {
+                out = out.insert(id, stamp);
+            }
+        }
+        ImmutableVc { map: out }
+    }
+
+    /// Compares the two clocks under the happens-before partial order.
+    pub fn compare(&self, other: &Self) -> ClockOrder {
+        if self.map.ptr_eq(&other.map) {
+            return ClockOrder::Equal;
+        }
+        let mut le = true; // self <= other
+        let mut ge = true; // self >= other
+        for (&id, &stamp) in self.map.iter() {
+            let o = other.get(id);
+            if stamp > o {
+                le = false;
+            }
+            if stamp < o {
+                ge = false;
+            }
+            if !le && !ge {
+                return ClockOrder::Concurrent;
+            }
+        }
+        for (&id, &stamp) in other.map.iter() {
+            let s = self.get(id);
+            if s < stamp {
+                ge = false;
+            }
+            if s > stamp {
+                le = false;
+            }
+            if !le && !ge {
+                return ClockOrder::Concurrent;
+            }
+        }
+        match (le, ge) {
+            (true, true) => ClockOrder::Equal,
+            (true, false) => ClockOrder::Before,
+            (false, true) => ClockOrder::After,
+            (false, false) => ClockOrder::Concurrent,
+        }
+    }
+
+    /// Returns `true` if every component of `self` is `<=` the corresponding
+    /// component of `other` — i.e. `self` happens-before-or-equals `other`.
+    pub fn le(&self, other: &Self) -> bool {
+        if self.map.ptr_eq(&other.map) {
+            return true;
+        }
+        self.map.iter().all(|(&id, &stamp)| stamp <= other.get(id))
+    }
+
+    /// Returns `true` if the two clocks share the same underlying map object.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        self.map.ptr_eq(&other.map)
+    }
+
+    /// Number of non-zero components.
+    pub fn components(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over `(id, stamp)` pairs in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClockId, Stamp)> + '_ {
+        self.map.iter().map(|(&id, &stamp)| (id, stamp))
+    }
+}
+
+impl std::fmt::Debug for ImmutableVc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for ImmutableVc {
+    fn eq(&self, other: &Self) -> bool {
+        self.compare(other) == ClockOrder::Equal
+    }
+}
+
+impl Eq for ImmutableVc {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_clock() {
+        let vc = ImmutableVc::new();
+        assert_eq!(vc.get(0), 0);
+        assert_eq!(vc.get(42), 0);
+        assert_eq!(vc.components(), 0);
+    }
+
+    #[test]
+    fn increment_is_persistent() {
+        let a = ImmutableVc::new().increment(1);
+        let b = a.increment(1);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(b.get(1), 2);
+    }
+
+    #[test]
+    fn join_takes_elementwise_max() {
+        let a = ImmutableVc::new().with(1, 5).with(2, 1);
+        let b = ImmutableVc::new().with(1, 2).with(3, 7);
+        let j = a.join(&b);
+        assert_eq!(j.get(1), 5);
+        assert_eq!(j.get(2), 1);
+        assert_eq!(j.get(3), 7);
+    }
+
+    #[test]
+    fn join_same_object_is_identity() {
+        let a = ImmutableVc::new().with(1, 5);
+        let b = a.clone();
+        let j = a.join(&b);
+        assert!(j.ptr_eq(&a), "ref-equality fast path must return same map");
+    }
+
+    #[test]
+    fn join_with_empty_returns_other_side() {
+        let a = ImmutableVc::new().with(1, 5);
+        let e = ImmutableVc::new();
+        assert!(a.join(&e).ptr_eq(&a));
+        assert!(e.join(&a).ptr_eq(&a));
+    }
+
+    #[test]
+    fn compare_orders() {
+        let a = ImmutableVc::new().with(1, 1);
+        let b = a.increment(1);
+        assert_eq!(a.compare(&b), ClockOrder::Before);
+        assert_eq!(b.compare(&a), ClockOrder::After);
+        assert_eq!(a.compare(&a.clone()), ClockOrder::Equal);
+
+        let c = ImmutableVc::new().with(2, 1);
+        assert_eq!(a.compare(&c), ClockOrder::Concurrent);
+    }
+
+    #[test]
+    fn compare_with_implicit_zeros() {
+        let a = ImmutableVc::new().with(1, 1);
+        let empty = ImmutableVc::new();
+        assert_eq!(empty.compare(&a), ClockOrder::Before);
+        assert_eq!(a.compare(&empty), ClockOrder::After);
+    }
+
+    #[test]
+    fn le_matches_compare() {
+        let a = ImmutableVc::new().with(1, 1).with(2, 3);
+        let b = a.increment(1);
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(a.le(&a.clone()));
+    }
+
+    #[test]
+    fn structural_equality_across_objects() {
+        let a = ImmutableVc::new().with(1, 1).with(2, 2);
+        let b = ImmutableVc::new().with(2, 2).with(1, 1);
+        assert_eq!(a, b);
+        assert!(!a.ptr_eq(&b));
+    }
+
+    #[test]
+    fn fork_join_simulation() {
+        // Parent forks a child; the child does no TSVD-point increments;
+        // on join, the parent's clock is reference-equal to the joined one.
+        let parent = ImmutableVc::new().increment(1).increment(1);
+        let child = parent.clone(); // Fork: O(1) send.
+        let joined = parent.join(&child); // Join: O(1) fast path.
+        assert!(joined.ptr_eq(&parent));
+    }
+}

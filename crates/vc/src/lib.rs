@@ -1,0 +1,56 @@
+//! Vector-clock substrate for TSVD-HB (§3.5 of the paper).
+//!
+//! The paper's TSVD-HB variant represents vector clocks with *immutable*
+//! AVL tree-maps instead of the traditional mutable arrays, so that a
+//! message-send (or any similar synchronization) event is an `O(1)`
+//! by-reference copy, an increment is `O(log n)`, and the common
+//! fork-join-without-TSVD-points case is an `O(1)` reference-equality check.
+//!
+//! This crate provides:
+//!
+//! - [`avl`] — a persistent (structurally shared) AVL tree map,
+//! - [`imm`] — immutable vector clocks over that map ([`imm::ImmutableVc`]),
+//! - [`mutable`] — a traditional mutable vector clock ([`mutable::MutableVc`])
+//!   used as the comparison baseline in the `vc_ops` benchmark.
+
+#![warn(missing_docs)]
+
+pub mod avl;
+pub mod imm;
+pub mod mutable;
+
+pub use avl::AvlMap;
+pub use imm::ImmutableVc;
+pub use mutable::MutableVc;
+
+/// Identifier of a logical clock component (a thread or task).
+pub type ClockId = u64;
+
+/// A single logical timestamp value.
+pub type Stamp = u64;
+
+/// Partial order between two vector clocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockOrder {
+    /// The two clocks are identical component-wise.
+    Equal,
+    /// The left clock happens-before the right clock.
+    Before,
+    /// The right clock happens-before the left clock.
+    After,
+    /// Neither clock happens-before the other: the events are concurrent.
+    Concurrent,
+}
+
+impl ClockOrder {
+    /// Returns `true` if the order implies the left event happened before or
+    /// at the same point as the right event.
+    pub fn is_before_or_equal(self) -> bool {
+        matches!(self, ClockOrder::Before | ClockOrder::Equal)
+    }
+
+    /// Returns `true` if the two events are concurrent.
+    pub fn is_concurrent(self) -> bool {
+        matches!(self, ClockOrder::Concurrent)
+    }
+}

@@ -1,0 +1,155 @@
+//! Traditional mutable vector clocks.
+//!
+//! This is the baseline representation the paper contrasts TSVD-HB's
+//! immutable clocks against: increments are `O(1)` in-place updates, but
+//! every message send must deep-copy the whole `O(n)` table. The `vc_ops`
+//! benchmark regenerates that comparison.
+
+use std::collections::HashMap;
+
+use crate::{ClockId, ClockOrder, Stamp};
+
+/// A mutable vector clock backed by a hash table.
+///
+/// # Examples
+///
+/// ```
+/// use tsvd_vc::{MutableVc, ClockOrder};
+///
+/// let mut a = MutableVc::new();
+/// a.increment(1);
+/// let mut b = a.clone(); // O(n) deep copy — the cost TSVD-HB avoids.
+/// b.increment(2);
+/// assert_eq!(a.compare(&b), ClockOrder::Before);
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct MutableVc {
+    map: HashMap<ClockId, Stamp>,
+}
+
+impl MutableVc {
+    /// Creates the zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the component for `id` (zero if absent).
+    pub fn get(&self, id: ClockId) -> Stamp {
+        self.map.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Increments component `id` in place.
+    pub fn increment(&mut self, id: ClockId) {
+        *self.map.entry(id).or_insert(0) += 1;
+    }
+
+    /// Sets component `id` to `stamp` in place.
+    pub fn set(&mut self, id: ClockId, stamp: Stamp) {
+        self.map.insert(id, stamp);
+    }
+
+    /// Joins `other` into `self` (element-wise max, in place).
+    pub fn join_from(&mut self, other: &Self) {
+        for (&id, &stamp) in &other.map {
+            let e = self.map.entry(id).or_insert(0);
+            if *e < stamp {
+                *e = stamp;
+            }
+        }
+    }
+
+    /// Compares the two clocks under the happens-before partial order.
+    pub fn compare(&self, other: &Self) -> ClockOrder {
+        let mut le = true;
+        let mut ge = true;
+        for (&id, &stamp) in &self.map {
+            let o = other.get(id);
+            if stamp > o {
+                le = false;
+            }
+            if stamp < o {
+                ge = false;
+            }
+        }
+        for (&id, &stamp) in &other.map {
+            let s = self.get(id);
+            if s < stamp {
+                ge = false;
+            }
+            if s > stamp {
+                le = false;
+            }
+        }
+        match (le, ge) {
+            (true, true) => ClockOrder::Equal,
+            (true, false) => ClockOrder::Before,
+            (false, true) => ClockOrder::After,
+            (false, false) => ClockOrder::Concurrent,
+        }
+    }
+
+    /// Returns `true` if `self` happens-before-or-equals `other`.
+    pub fn le(&self, other: &Self) -> bool {
+        self.map.iter().all(|(&id, &stamp)| stamp <= other.get(id))
+    }
+
+    /// Number of non-zero components.
+    pub fn components(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over `(id, stamp)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClockId, Stamp)> + '_ {
+        self.map.iter().map(|(&id, &stamp)| (id, stamp))
+    }
+}
+
+impl PartialEq for MutableVc {
+    fn eq(&self, other: &Self) -> bool {
+        self.compare(other) == ClockOrder::Equal
+    }
+}
+
+impl Eq for MutableVc {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increment_and_get() {
+        let mut vc = MutableVc::new();
+        vc.increment(3);
+        vc.increment(3);
+        assert_eq!(vc.get(3), 2);
+        assert_eq!(vc.get(1), 0);
+    }
+
+    #[test]
+    fn join_from_takes_max() {
+        let mut a = MutableVc::new();
+        a.set(1, 5);
+        a.set(2, 1);
+        let mut b = MutableVc::new();
+        b.set(1, 2);
+        b.set(3, 7);
+        a.join_from(&b);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(3), 7);
+    }
+
+    #[test]
+    fn compare_matches_partial_order() {
+        let mut a = MutableVc::new();
+        a.set(1, 1);
+        let mut b = a.clone();
+        b.increment(1);
+        assert_eq!(a.compare(&b), ClockOrder::Before);
+        assert_eq!(b.compare(&a), ClockOrder::After);
+        let mut c = MutableVc::new();
+        c.set(2, 1);
+        assert_eq!(a.compare(&c), ClockOrder::Concurrent);
+        assert_eq!(a.compare(&a.clone()), ClockOrder::Equal);
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the vector-clock substrate.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use tsvd_vc::{AvlMap, ClockOrder, ImmutableVc, MutableVc};
+
+/// Operations applied to both the AVL map and a `BTreeMap` model.
+#[derive(Debug, Clone)]
+enum MapOp {
+    Insert(u16, u32),
+    Remove(u16),
+}
+
+fn map_op() -> impl Strategy<Value = MapOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| MapOp::Insert(k, v)),
+        any::<u16>().prop_map(MapOp::Remove),
+    ]
+}
+
+proptest! {
+    /// The persistent AVL map behaves exactly like `BTreeMap` and keeps its
+    /// balance invariants under arbitrary insert/remove sequences.
+    #[test]
+    fn avl_matches_btreemap_model(ops in proptest::collection::vec(map_op(), 0..200)) {
+        let mut avl: AvlMap<u16, u32> = AvlMap::new();
+        let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                MapOp::Insert(k, v) => {
+                    avl = avl.insert(k, v);
+                    model.insert(k, v);
+                }
+                MapOp::Remove(k) => {
+                    let (next, removed) = avl.remove(&k);
+                    prop_assert_eq!(removed, model.remove(&k).is_some());
+                    avl = next;
+                }
+            }
+            prop_assert!(avl.check_invariants());
+            prop_assert_eq!(avl.len(), model.len());
+        }
+        let got: Vec<(u16, u32)> = avl.iter().map(|(&k, &v)| (k, v)).collect();
+        let want: Vec<(u16, u32)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Earlier versions of a persistent map are unaffected by later updates.
+    #[test]
+    fn avl_persistence(kvs in proptest::collection::vec((any::<u16>(), any::<u32>()), 1..50)) {
+        let mut versions: Vec<(AvlMap<u16, u32>, BTreeMap<u16, u32>)> = Vec::new();
+        let mut avl = AvlMap::new();
+        let mut model = BTreeMap::new();
+        for (k, v) in kvs {
+            avl = avl.insert(k, v);
+            model.insert(k, v);
+            versions.push((avl.clone(), model.clone()));
+        }
+        for (snap, model) in &versions {
+            for (k, v) in model {
+                prop_assert_eq!(snap.get(k), Some(v));
+            }
+            prop_assert_eq!(snap.len(), model.len());
+        }
+    }
+}
+
+/// Clock operations applied to parallel immutable/mutable vector clocks.
+#[derive(Debug, Clone)]
+enum VcOp {
+    /// Increment clock `i`'s component for id.
+    Inc(usize, u8),
+    /// Join clock `j` into clock `i`.
+    Join(usize, usize),
+}
+
+fn vc_op(n: usize) -> impl Strategy<Value = VcOp> {
+    prop_oneof![
+        (0..n, any::<u8>()).prop_map(|(i, id)| VcOp::Inc(i, id % 8)),
+        (0..n, 0..n).prop_map(|(i, j)| VcOp::Join(i, j)),
+    ]
+}
+
+proptest! {
+    /// The immutable AVL-backed clocks and the traditional mutable clocks
+    /// compute identical component values and identical orderings under any
+    /// interleaving of increments and joins.
+    #[test]
+    fn immutable_equals_mutable(ops in proptest::collection::vec(vc_op(4), 0..120)) {
+        let mut imm: Vec<ImmutableVc> = (0..4).map(|_| ImmutableVc::new()).collect();
+        let mut mutv: Vec<MutableVc> = (0..4).map(|_| MutableVc::new()).collect();
+        for op in ops {
+            match op {
+                VcOp::Inc(i, id) => {
+                    imm[i] = imm[i].increment(id as u64);
+                    mutv[i].increment(id as u64);
+                }
+                VcOp::Join(i, j) => {
+                    let other = imm[j].clone();
+                    imm[i] = imm[i].join(&other);
+                    let other = mutv[j].clone();
+                    mutv[i].join_from(&other);
+                }
+            }
+        }
+        for (a, b) in imm.iter().zip(&mutv) {
+            for id in 0..8u64 {
+                prop_assert_eq!(a.get(id), b.get(id));
+            }
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert_eq!(imm[i].compare(&imm[j]), mutv[i].compare(&mutv[j]));
+            }
+        }
+    }
+
+    /// `compare` is antisymmetric and consistent with `le`.
+    #[test]
+    fn compare_consistency(
+        a in proptest::collection::vec(0u64..6, 0..20),
+        b in proptest::collection::vec(0u64..6, 0..20),
+    ) {
+        let mut va = ImmutableVc::new();
+        for id in &a { va = va.increment(*id); }
+        let mut vb = ImmutableVc::new();
+        for id in &b { vb = vb.increment(*id); }
+        let ab = va.compare(&vb);
+        let ba = vb.compare(&va);
+        let expected = match ab {
+            ClockOrder::Equal => ClockOrder::Equal,
+            ClockOrder::Before => ClockOrder::After,
+            ClockOrder::After => ClockOrder::Before,
+            ClockOrder::Concurrent => ClockOrder::Concurrent,
+        };
+        prop_assert_eq!(ba, expected);
+        prop_assert_eq!(va.le(&vb), ab.is_before_or_equal());
+    }
+
+    /// Join produces the least upper bound: both inputs are `<=` the join,
+    /// and the join of a clock with itself is itself.
+    #[test]
+    fn join_is_lub(
+        a in proptest::collection::vec(0u64..6, 0..20),
+        b in proptest::collection::vec(0u64..6, 0..20),
+    ) {
+        let mut va = ImmutableVc::new();
+        for id in &a { va = va.increment(*id); }
+        let mut vb = ImmutableVc::new();
+        for id in &b { vb = vb.increment(*id); }
+        let j = va.join(&vb);
+        prop_assert!(va.le(&j));
+        prop_assert!(vb.le(&j));
+        for id in 0..6u64 {
+            prop_assert_eq!(j.get(id), va.get(id).max(vb.get(id)));
+        }
+        let jj = j.join(&j.clone());
+        prop_assert!(jj.ptr_eq(&j));
+    }
+}

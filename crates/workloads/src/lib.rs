@@ -1,0 +1,30 @@
+//! Synthetic benchmark corpus with planted ground truth.
+//!
+//! The paper evaluates TSVD on ~43 K proprietary software modules; this
+//! crate is the substitution documented in DESIGN.md: a deterministic,
+//! seeded generator of *modules* — multi-threaded unit tests built from the
+//! instrumented collections and the task substrate — whose bug content is
+//! known by construction:
+//!
+//! - **planted TSVs** of every flavour Table 1 reports (write-write,
+//!   read-write, same-location, async-heavy, Dictionary-heavy, ...);
+//! - **non-bugs** that stress each detector differently: lock-protected
+//!   near-misses, ad-hoc synchronization invisible to vector clocks,
+//!   sequential phases, hot loops;
+//! - **hard bugs** reproducing the paper's three false-negative categories
+//!   (§5.3): rare-schedule pairs, inference-fooling lock patterns, and
+//!   single-shot TSVD points that only a second (trap-file-seeded) run can
+//!   catch.
+//!
+//! [`suite`] assembles these into the "Small"/"Large" benchmark analogs;
+//! [`opensource`] reproduces the 9 open-source projects of Table 4.
+
+#![warn(missing_docs)]
+
+pub mod module;
+pub mod opensource;
+pub mod scenarios;
+pub mod suite;
+
+pub use module::{Expectation, Module, ModuleCtx};
+pub use suite::{build_suite, SuiteConfig};

@@ -1,0 +1,192 @@
+//! Hard bugs: the §5.3 false-negative categories.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use tsvd_collections::{Dictionary, List};
+
+use crate::module::{Expectation, Module, ModuleCtx};
+use crate::scenarios::pace;
+
+/// FN category 1: the two racing operations execute close to each other
+/// only under rare schedules (a resource usage vs. its deallocation). In
+/// most runs a long gap separates them, so near-miss tracking never arms
+/// the pair; across many runs the rare schedule eventually shows up.
+///
+/// `close_one_in`: on average one run in this many takes the close
+/// schedule (seeded, per-run counter → deterministic sequence).
+pub fn rare_pair(seed: u64, close_one_in: u32, iters: u32) -> Module {
+    let run_counter = Arc::new(AtomicU64::new(0));
+    Module::new(
+        "rare-pair",
+        2,
+        Expectation::Buggy {
+            pairs: 1,
+            first_run_catchable: false,
+        },
+        true,
+        "List",
+        move |ctx: &ModuleCtx| {
+            let run = run_counter.fetch_add(1, Ordering::Relaxed);
+            let mut rng = SmallRng::seed_from_u64(seed ^ run.wrapping_mul(0x9E37_79B9));
+            let close = rng.gen_range(0..close_one_in.max(1)) == 0;
+            let resource: List<u64> = List::new(&ctx.runtime);
+            resource.add(1);
+            let p = pace(ctx);
+            let user = {
+                let r = resource.clone();
+                ctx.pool.spawn(move || {
+                    for i in 0..iters {
+                        r.add(u64::from(i)); // Resource usage.
+                        std::thread::sleep(p);
+                    }
+                })
+            };
+            let deallocator = {
+                let r = resource.clone();
+                // Usually the deallocation happens long after the usage —
+                // far outside the near-miss window.
+                let gap = if close { p } else { p * (40 * iters) };
+                ctx.pool.spawn(move || {
+                    std::thread::sleep(gap);
+                    for _ in 0..iters {
+                        r.clear(); // Resource deallocation.
+                        std::thread::sleep(p);
+                    }
+                })
+            };
+            user.wait();
+            deallocator.wait();
+        },
+    )
+}
+
+/// FN category 3 driver and §3.4.6 "multiple testing runs": both racy
+/// operations execute exactly *once* per run. The near miss observed in
+/// run 1 is also the only chance to catch the bug, so run 1 always misses;
+/// a second run seeded from the trap file delays the first occurrence and
+/// catches it.
+pub fn single_shot(seed: u64) -> Module {
+    Module::new(
+        "single-shot",
+        1,
+        Expectation::Buggy {
+            pairs: 1,
+            first_run_catchable: false,
+        },
+        true,
+        "Dictionary",
+        move |ctx: &ModuleCtx| {
+            let _ = seed;
+            let settings: Dictionary<u64, u64> = Dictionary::new(&ctx.runtime);
+            let p = pace(ctx);
+            let s1 = settings.clone();
+            let init = ctx.pool.spawn(move || {
+                s1.set(1, 42); // Executes once per run.
+            });
+            let s2 = settings.clone();
+            let probe = ctx.pool.spawn(move || {
+                std::thread::sleep(p / 2);
+                let _ = s2.contains_key(&1); // Executes once per run.
+            });
+            init.wait();
+            probe.wait();
+        },
+    )
+}
+
+/// FN category 3 proper: the pair arms (the accesses stray into the
+/// near-miss window), but the slow side's period exceeds the delay length,
+/// so a base-length trap usually expires before the partner arrives. The
+/// paper saw these bugs surface only "after a couple of more runs"; the
+/// adaptive-delay extension catches them by doubling fruitless delays.
+pub fn slow_partner(seed: u64, fast_iters: u32) -> Module {
+    Module::new(
+        "slow-partner",
+        1,
+        Expectation::Buggy {
+            pairs: 1,
+            first_run_catchable: false,
+        },
+        true,
+        "Dictionary",
+        move |ctx: &ModuleCtx| {
+            let _ = seed;
+            let shared: Dictionary<u64, u64> = Dictionary::new(&ctx.runtime);
+            let beat = ctx.beat;
+            let periods = fast_iters.clamp(4, 12);
+            // Both workers tick every beat doing private work (a dense access
+            // stream, so no long gaps exist for HB inference to misread) and
+            // write the shared dictionary on *drifting* periods (10 vs 9
+            // beats). Their first shared ops coincide and arm the pair, but
+            // afterwards the phase between shared ops sweeps 0..4.5 beats:
+            // most base-length traps (4 beats) expire before the partner's
+            // next op, while a lengthened delay covers every phase — the
+            // §5.3 category-3 shape ("the injected delay was not long enough
+            // to trigger the bug").
+            let spawn_worker = |period: u32, key: u64| {
+                let s = shared.clone();
+                let rt = ctx.runtime.clone();
+                ctx.pool.spawn(move || {
+                    let private: Dictionary<u64, u64> = Dictionary::new(&rt);
+                    for t in 0..periods * 10 {
+                        private.set(u64::from(t % 4), u64::from(t)); // Filler.
+                        if t % period == 0 {
+                            s.set(key, u64::from(t)); // Drifting shared write.
+                        }
+                        std::thread::sleep(beat);
+                    }
+                })
+            };
+            let a = spawn_worker(10, 1);
+            let b = spawn_worker(9, 2);
+            a.wait();
+            b.wait();
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsvd_core::{Runtime, TsvdConfig};
+
+    #[test]
+    fn rare_pair_schedule_sequence_is_deterministic() {
+        // Two modules with the same seed take the same close/far decisions.
+        let decisions = |seed: u64| -> Vec<bool> {
+            (0..20u64)
+                .map(|run| {
+                    let mut rng = SmallRng::seed_from_u64(seed ^ run.wrapping_mul(0x9E37_79B9));
+                    rng.gen_range(0..8u32) == 0
+                })
+                .collect()
+        };
+        assert_eq!(decisions(7), decisions(7));
+        assert!(decisions(7).iter().any(|&c| c), "some run must be close");
+        assert!(!decisions(7).iter().all(|&c| c), "most runs must be far");
+    }
+
+    #[test]
+    fn hard_scenarios_run_under_noop() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let ctx = ModuleCtx::new(rt, 2);
+        rare_pair(3, 1, 2).run(&ctx); // close_one_in = 1 → always close → fast.
+        single_shot(3).run(&ctx);
+    }
+
+    #[test]
+    fn single_shot_is_flagged_not_first_run_catchable() {
+        let m = single_shot(1);
+        assert_eq!(
+            m.expectation(),
+            Expectation::Buggy {
+                pairs: 1,
+                first_run_catchable: false
+            }
+        );
+    }
+}

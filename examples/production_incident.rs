@@ -1,0 +1,71 @@
+//! The §5.6 production incident: two threads sorting one list.
+//!
+//! "The sorting result of an unprotected list is undetermined when two
+//! threads are doing that concurrently. This undetermined behavior
+//! propagated and finally caused the service to go down for several hours.
+//! TSVD can reproduce this bug without any prior knowledge."
+//!
+//! This example also compares detectors on the same incident: TSVD, the
+//! DataCollider emulation, and DynamicRandom each get one run.
+//!
+//! ```text
+//! cargo run --release --example production_incident
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tsvd::prelude::*;
+
+fn incident(rt: &Arc<Runtime>) -> (usize, u64) {
+    let pool = Pool::with_runtime(2, rt.clone());
+    let list: List<u64> = List::new(rt);
+    for i in 0..24u64 {
+        list.add((i * 37) % 17);
+    }
+    let l1 = list.clone();
+    let sorter_a = pool.spawn(move || {
+        for _ in 0..30 {
+            l1.sort();
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    });
+    let l2 = list.clone();
+    let sorter_b = pool.spawn(move || {
+        for _ in 0..30 {
+            l2.sort();
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    });
+    sorter_a.wait();
+    sorter_b.wait();
+    (rt.reports().unique_bugs(), rt.stats().delays_injected())
+}
+
+fn main() {
+    println!("=== production incident: concurrent List.sort (§5.6) ===\n");
+    let config = TsvdConfig::paper().scaled(0.05);
+
+    let tsvd = Runtime::tsvd(config.clone());
+    let (bugs, delays) = incident(&tsvd);
+    println!("TSVD          : bugs={bugs} delays={delays}");
+
+    let dc = Runtime::static_random(config.clone());
+    let (bugs, delays) = incident(&dc);
+    println!("DataCollider  : bugs={bugs} delays={delays}");
+
+    let dr = Runtime::dynamic_random(config);
+    let (bugs, delays) = incident(&dr);
+    println!("DynamicRandom : bugs={bugs} delays={delays}");
+
+    println!(
+        "\nTSVD reproduces the incident from the unit test alone — no\n\
+         production traces, no prior knowledge of the racing pair."
+    );
+    for v in tsvd.reports().violations().iter().take(1) {
+        println!(
+            "\ncaught: {} at {}\n    vs  {} at {}",
+            v.trapped.op_name, v.trapped.site, v.hitter.op_name, v.hitter.site
+        );
+    }
+}

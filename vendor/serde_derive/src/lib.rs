@@ -1,0 +1,182 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the stub `serde::Serialize` / `serde::Deserialize` traits (the
+//! `to_value` / `from_value` pair) for plain named-field structs. The input
+//! is parsed directly from the raw `TokenStream` — no `syn`/`quote`, since
+//! the build container has no registry access. Enums, tuple structs,
+//! generics, and `#[serde(...)]` attributes are intentionally unsupported;
+//! the workspace's serialized types are all simple named-field structs.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (`fn to_value(&self) -> serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let inserts: String = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!("map.insert(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}));\n")
+        })
+        .collect();
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 let mut map = std::collections::BTreeMap::new();\n\
+                 {inserts}\
+                 serde::Value::Object(map)\n\
+             }}\n\
+         }}\n",
+        name = s.name,
+        inserts = inserts,
+    );
+    out.parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+/// Derives `serde::Deserialize` (`fn from_value(&Value) -> Result<Self, _>`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let s = parse_struct(input);
+    let fields: String = s
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_value(\
+                     serde::__private::field(map, \"{name}\", \"{f}\")?\
+                 )?,\n",
+                name = s.name,
+            )
+        })
+        .collect();
+    let out = format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                 let map = value.as_object().ok_or_else(|| \
+                     serde::Error::msg(\"{name}: expected object\"))?;\n\
+                 Ok({name} {{\n\
+                     {fields}\
+                 }})\n\
+             }}\n\
+         }}\n",
+        name = s.name,
+        fields = fields,
+    );
+    out.parse()
+        .expect("serde_derive: generated impl must parse")
+}
+
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and its named-field identifiers from a
+/// `DeriveInput`-shaped token stream:
+/// `(#[attr])* (pub)? struct Name { (pub)? field: Type, ... }`.
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#` punct followed by a bracketed group) and
+    // visibility / struct keywords until the struct's identifier.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // the `[...]` group
+            }
+            TokenTree::Ident(id) => {
+                let id = id.to_string();
+                if id == "pub" {
+                    // `pub(crate)` carries a parenthesized group.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                } else if id == "struct" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(n)) => {
+                            name = Some(n.to_string());
+                            break;
+                        }
+                        other => panic!("serde_derive: expected struct name, got {other:?}"),
+                    }
+                } else if id == "enum" || id == "union" {
+                    panic!("serde_derive stub supports only named-field structs, got `{id}`");
+                }
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde_derive: no `struct` keyword found");
+
+    // The next brace-delimited group is the field list.
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde_derive stub does not support generic structs")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("serde_derive stub does not support tuple/unit structs")
+            }
+            Some(_) => {}
+            None => panic!("serde_derive: struct `{name}` has no braced field list"),
+        }
+    };
+
+    // Within the body, each field is `(#[attr])* (pub)? ident : Type`,
+    // separated by top-level commas. Only the identifier before each `:` at
+    // angle-bracket depth 0 matters.
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    let mut pending: Option<String> = None;
+    let mut field_taken = false;
+    let mut body_tokens = body.stream().into_iter().peekable();
+    while let Some(tt) = body_tokens.next() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    pending = None;
+                    field_taken = false;
+                }
+                ':' if depth == 0 && !field_taken => {
+                    // `::` in a type path must not end field scanning; only a
+                    // single colon directly after the field name does.
+                    if let Some(TokenTree::Punct(next)) = body_tokens.peek() {
+                        if next.as_char() == ':' {
+                            body_tokens.next();
+                            continue;
+                        }
+                    }
+                    if let Some(f) = pending.take() {
+                        fields.push(f);
+                        field_taken = true;
+                    }
+                }
+                '#' => {
+                    body_tokens.next(); // field attribute group
+                }
+                _ => {}
+            },
+            TokenTree::Ident(id) if depth == 0 && !field_taken => {
+                let id = id.to_string();
+                if id != "pub" {
+                    pending = Some(id);
+                } else if let Some(TokenTree::Group(g)) = body_tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        body_tokens.next();
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    StructDef { name, fields }
+}

@@ -24,6 +24,7 @@ fn bench_sensitivity(c: &mut Criterion) {
         threads: 2,
         runs: 1,
         shared_trap_file: false,
+        module_deadline: None,
     };
 
     let settings: Vec<Setting> = vec![

@@ -20,6 +20,8 @@ fn bench_suite(c: &mut Criterion) {
         threads: 2,
         runs: 1,
         shared_trap_file: false,
+        // No watched thread in benches: measure the runner itself.
+        module_deadline: None,
     };
     let mut g = c.benchmark_group("table2_suite_pass");
     g.sample_size(10);

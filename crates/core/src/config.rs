@@ -102,6 +102,63 @@ pub struct TsvdConfig {
     pub enable_windowing: bool,
     /// Disable concurrent-phase detection ("No concurrent phase detection").
     pub enable_phase_detection: bool,
+
+    // --- Robustness: delay watchdog (runtime hardening, not a paper knob) ---
+    /// Enable the delay watchdog: a monitor that cancels live traps when
+    /// every pool worker is simultaneously delayed/blocked (delay-induced
+    /// starvation) or the run exceeds [`run_deadline_ns`], degrading the
+    /// runtime to passive monitoring instead of hanging the test.
+    ///
+    /// [`run_deadline_ns`]: TsvdConfig::run_deadline_ns
+    #[serde(default = "default_watchdog")]
+    pub watchdog: bool,
+    /// Watchdog poll interval, nanoseconds (scaled with the time constants).
+    #[serde(default = "default_watchdog_poll_ns")]
+    pub watchdog_poll_ns: u64,
+    /// Wall-clock deadline for one runtime's lifetime, nanoseconds. When
+    /// exceeded, the watchdog cancels every live trap and disables further
+    /// injection (detection stays on). `u64::MAX` disables the deadline.
+    #[serde(default = "default_run_deadline_ns")]
+    pub run_deadline_ns: u64,
+    /// Consecutive watchdog polls the starvation condition must persist
+    /// before a trap is cancelled (debounces transient all-blocked states).
+    #[serde(default = "default_watchdog_grace_polls")]
+    pub watchdog_grace_polls: u32,
+    /// Starvation cancellations after which injection degrades to passive
+    /// monitoring for the rest of the run.
+    #[serde(default = "default_watchdog_max_cancellations")]
+    pub watchdog_max_cancellations: u64,
+
+    // --- Robustness: durable violation sink ---------------------------------
+    /// Write-ahead violation log: every caught violation is appended to this
+    /// JSONL file the moment it is caught, so a later test-process crash
+    /// cannot lose a confirmed TSV. `None` disables the sink.
+    #[serde(default)]
+    pub durable_sink: Option<std::path::PathBuf>,
+    /// `fsync` the durable sink after each appended violation (maximum
+    /// durability; slower when violations are frequent).
+    #[serde(default)]
+    pub durable_sink_fsync: bool,
+}
+
+fn default_watchdog() -> bool {
+    true
+}
+
+fn default_watchdog_poll_ns() -> u64 {
+    ms_to_ns(25)
+}
+
+fn default_run_deadline_ns() -> u64 {
+    u64::MAX
+}
+
+fn default_watchdog_grace_polls() -> u32 {
+    2
+}
+
+fn default_watchdog_max_cancellations() -> u64 {
+    16
 }
 
 impl Default for TsvdConfig {
@@ -133,6 +190,13 @@ impl Default for TsvdConfig {
             enable_hb_inference: true,
             enable_windowing: true,
             enable_phase_detection: true,
+            watchdog: default_watchdog(),
+            watchdog_poll_ns: default_watchdog_poll_ns(),
+            run_deadline_ns: default_run_deadline_ns(),
+            watchdog_grace_polls: default_watchdog_grace_polls(),
+            watchdog_max_cancellations: default_watchdog_max_cancellations(),
+            durable_sink: None,
+            durable_sink_fsync: false,
         }
     }
 }
@@ -160,6 +224,8 @@ impl TsvdConfig {
         self.max_delay_per_context_ns = scale(self.max_delay_per_context_ns);
         self.max_delay_per_run_ns = scale(self.max_delay_per_run_ns);
         self.beat_ns = scale(self.beat_ns);
+        self.watchdog_poll_ns = scale(self.watchdog_poll_ns);
+        self.run_deadline_ns = scale(self.run_deadline_ns);
         self
     }
 
@@ -204,6 +270,12 @@ impl TsvdConfig {
         }
         if self.adaptive_delay_cap < 1.0 {
             return Err("adaptive_delay_cap must be at least 1".into());
+        }
+        if self.watchdog_poll_ns == 0 {
+            return Err("watchdog_poll_ns must be positive".into());
+        }
+        if self.watchdog_grace_polls == 0 {
+            return Err("watchdog_grace_polls must be at least 1".into());
         }
         Ok(())
     }
@@ -271,6 +343,55 @@ mod tests {
         c = TsvdConfig::paper();
         c.stats_shards = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_watchdog() {
+        let mut c = TsvdConfig::paper();
+        c.watchdog_poll_ns = 0;
+        assert!(c.validate().is_err());
+        c = TsvdConfig::paper();
+        c.watchdog_grace_polls = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scaling_covers_watchdog_constants() {
+        let mut c = TsvdConfig::paper();
+        c.run_deadline_ns = ms_to_ns(10_000);
+        let c = c.scaled(0.01);
+        assert_eq!(c.watchdog_poll_ns, 250_000);
+        assert_eq!(c.run_deadline_ns, 100_000_000);
+        // A disabled deadline stays disabled at any scale.
+        let c = TsvdConfig::paper().scaled(0.01);
+        assert_eq!(c.run_deadline_ns, u64::MAX);
+    }
+
+    #[test]
+    fn config_without_robustness_fields_still_deserializes() {
+        // Configs persisted before the watchdog/sink fields existed must
+        // load with the defaults instead of erroring.
+        let mut value = serde::Serialize::to_value(&TsvdConfig::paper());
+        match &mut value {
+            serde::Value::Object(map) => {
+                for key in [
+                    "watchdog",
+                    "watchdog_poll_ns",
+                    "run_deadline_ns",
+                    "watchdog_grace_polls",
+                    "watchdog_max_cancellations",
+                    "durable_sink",
+                    "durable_sink_fsync",
+                ] {
+                    map.remove(key);
+                }
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        let back = <TsvdConfig as serde::Deserialize>::from_value(&value).expect("deserialize");
+        assert!(back.watchdog);
+        assert_eq!(back.run_deadline_ns, u64::MAX);
+        assert!(back.durable_sink.is_none());
     }
 
     #[test]

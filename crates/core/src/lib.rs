@@ -42,12 +42,14 @@ pub mod near_miss;
 pub mod phase;
 pub mod report;
 pub mod runtime;
+pub mod sink;
 pub mod site;
 pub mod stats;
 pub mod strategy;
 pub mod trap;
 pub mod trap_file;
 pub mod trapset;
+pub mod watchdog;
 
 pub use access::{Access, ObjId, OpKind};
 pub use clock::{now_ns, Clock, ManualClock, RealClock};
@@ -55,6 +57,8 @@ pub use config::TsvdConfig;
 pub use context::ContextId;
 pub use report::{ReportSink, Violation};
 pub use runtime::Runtime;
+pub use sink::{DurableSink, ViolationRecord};
 pub use site::SiteId;
 pub use strategy::{Strategy, SyncEvent};
 pub use trap_file::TrapFileData;
+pub use watchdog::{DegradeReason, Watchdog, WorkerRegistration};

@@ -18,16 +18,18 @@ use crate::config::TsvdConfig;
 use crate::context;
 use crate::phase::PhaseBuffer;
 use crate::report::{Party, ReportSink, Violation};
+use crate::sink::DurableSink;
 use crate::site::SiteId;
 use crate::stats::RuntimeStats;
 use crate::strategy::{DynamicRandom, Noop, StaticRandom, Strategy, SyncEvent, Tsvd, TsvdHb};
-use crate::trap::TrapTable;
+use crate::trap::{TrapGuard, TrapTable};
 use crate::trap_file::TrapFileData;
+use crate::watchdog::{Watchdog, WorkerRegistration};
 
 /// A detection runtime: strategy + trap table + report sink + statistics.
 pub struct Runtime {
     strategy: Box<dyn Strategy>,
-    traps: TrapTable,
+    traps: Arc<TrapTable>,
     sink: ReportSink,
     stats: RuntimeStats,
     config: TsvdConfig,
@@ -35,6 +37,10 @@ pub struct Runtime {
     /// keeps its own for planning).
     coverage_phase: PhaseBuffer,
     run_delay_ns: AtomicU64,
+    /// Liveness monitor for injected delays (see [`crate::watchdog`]).
+    watchdog: Watchdog,
+    /// Write-ahead violation log, when configured.
+    durable: Option<DurableSink>,
     /// Opt-in event tracing to stderr (`TSVD_TRACE=1`).
     trace: bool,
 }
@@ -50,12 +56,27 @@ impl Runtime {
         if let Err(msg) = config.validate() {
             panic!("invalid TsvdConfig: {msg}");
         }
+        let durable = config.durable_sink.as_ref().and_then(|path| {
+            match DurableSink::create(path, config.durable_sink_fsync) {
+                Ok(sink) => Some(sink),
+                Err(e) => {
+                    // A missing log must not turn detection off entirely.
+                    eprintln!(
+                        "tsvd: durable sink {} unavailable ({e}); running without it",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        });
         Arc::new(Runtime {
             strategy,
-            traps: TrapTable::with_shards(config.trap_shards),
+            traps: Arc::new(TrapTable::with_shards(config.trap_shards)),
             sink: ReportSink::new(),
             stats: RuntimeStats::with_shards(config.stats_shards),
             coverage_phase: PhaseBuffer::new(config.phase_buffer),
+            watchdog: Watchdog::new(&config),
+            durable,
             config,
             run_delay_ns: AtomicU64::new(0),
             trace: std::env::var_os("TSVD_TRACE").is_some_and(|v| v == "1"),
@@ -159,14 +180,35 @@ impl Runtime {
                 obj: access.obj,
                 time_ns: access.time_ns,
             };
+            // Write-ahead: the durable record lands before the in-memory
+            // report, so a crash right after the catch still preserves it.
+            if let Some(durable) = &self.durable {
+                if let Err(e) = durable.append(&violation) {
+                    eprintln!("tsvd: durable sink append failed: {e}");
+                }
+            }
             self.strategy.on_violation(violation.pair());
             self.sink.report(violation);
         }
 
-        // should_delay: the strategy decides where and when.
+        // should_delay: the strategy decides where and when. The strategy
+        // always sees the access (near-miss and HB state keep learning),
+        // but a degraded runtime never injects the delay.
         if let Some(delay_ns) = self.strategy.on_access(&access) {
-            if self.delay_budget_allows(access.context, delay_ns) {
+            if self.watchdog.is_degraded() {
+                if self.trace {
+                    eprintln!(
+                        "[tsvd {}ns] delay suppressed (passive mode) at {}",
+                        access.time_ns, access.site
+                    );
+                }
+            } else if self.delay_budget_allows(access.context, delay_ns) {
+                // RAII from here: the guard clears the trap and restores the
+                // live count even if anything below unwinds; the scope keeps
+                // the watchdog's delayed counters balanced the same way.
                 let entry = self.traps.set_trap(access, self.capture_stack());
+                let guard = TrapGuard::new(&self.traps, entry);
+                let _delay_scope = self.watchdog.delay_scope(&self.traps);
                 if self.trace {
                     eprintln!(
                         "[tsvd {}ns] trap set {} {:?} obj={:?} {} for {}ns",
@@ -179,8 +221,8 @@ impl Runtime {
                     );
                 }
                 let start_ns = now_ns();
-                let caught = entry.sleep(Duration::from_nanos(delay_ns));
-                self.traps.clear_trap(&entry);
+                let caught = guard.entry().sleep(Duration::from_nanos(delay_ns));
+                drop(guard); // Clear the trap before bookkeeping.
                 let end_ns = now_ns();
                 let slept = end_ns.saturating_sub(start_ns);
                 self.stats.record_delay(access.context, slept);
@@ -264,6 +306,60 @@ impl Runtime {
     /// Imports a previous run's trap state.
     pub fn import_trap_file(&self, data: &TrapFileData) {
         self.strategy.import_trap_file(data);
+    }
+
+    /// The delay watchdog attached to this runtime.
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.watchdog
+    }
+
+    /// Registers the calling thread as a runnable pool worker with the
+    /// watchdog, RAII-style. The task substrate calls this from every
+    /// worker it spawns.
+    pub fn register_worker(&self) -> WorkerRegistration {
+        self.watchdog.register_worker()
+    }
+
+    /// Marks the calling thread blocked in a join wait (watchdog input).
+    pub fn enter_blocked(&self) {
+        self.watchdog.note_blocked();
+    }
+
+    /// Clears the mark set by [`Runtime::enter_blocked`].
+    pub fn exit_blocked(&self) {
+        self.watchdog.note_unblocked();
+    }
+
+    /// Number of traps currently armed (threads sleeping or about to).
+    pub fn live_traps(&self) -> usize {
+        self.traps.live_count()
+    }
+
+    /// `true` once the runtime degraded to passive monitoring: detection
+    /// stays on, delay injection is off.
+    pub fn is_passive(&self) -> bool {
+        self.watchdog.is_degraded()
+    }
+
+    /// Abandons active injection: degrades to passive monitoring and wakes
+    /// every sleeping trap owner. The harness calls this when a module
+    /// blows its deadline so the wedged run can drain and terminate.
+    pub fn abandon(&self) {
+        self.watchdog.degrade(&self.traps);
+    }
+
+    /// Flushes the durable violation sink, if one is configured.
+    pub fn flush_durable_sink(&self) {
+        if let Some(durable) = &self.durable {
+            durable.flush();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.watchdog.shutdown();
+        self.flush_durable_sink();
     }
 }
 
@@ -385,6 +481,63 @@ mod tests {
             assert!(v.hitter.stack.is_some());
             assert!(rt.reports().stack_trace_pairs() >= 1);
         }
+    }
+
+    #[test]
+    fn abandoned_runtime_goes_passive_and_stops_delaying() {
+        let mut c = cfg();
+        c.dynamic_random_p = 1.0; // Delay at every call when active.
+        let rt = Runtime::dynamic_random(c);
+        rt.on_call(ObjId(1), crate::site!(), "t.op", OpKind::Write);
+        let before = rt.stats().delays_injected();
+        assert!(before >= 1);
+        rt.abandon();
+        assert!(rt.is_passive());
+        for i in 0..10 {
+            rt.on_call(ObjId(i), crate::site!(), "t.op", OpKind::Write);
+        }
+        assert_eq!(
+            rt.stats().delays_injected(),
+            before,
+            "passive mode must not inject"
+        );
+        // Detection bookkeeping continues: calls are still counted.
+        assert!(rt.stats().on_calls() >= 11);
+        assert_eq!(rt.live_traps(), 0);
+    }
+
+    #[test]
+    fn durable_sink_records_catches_write_ahead() {
+        let dir = std::env::temp_dir().join(format!("tsvd_rt_sink_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("violations.jsonl");
+        let mut c = cfg();
+        c.dynamic_random_p = 1.0;
+        c.durable_sink = Some(path.clone());
+        let delay = Duration::from_nanos(c.delay_ns);
+        for _attempt in 0..5 {
+            let rt = Runtime::dynamic_random(c.clone());
+            let obj = ObjId(0xFEED);
+            std::thread::scope(|scope| {
+                let rt1 = &rt;
+                scope.spawn(move || {
+                    rt1.on_call(obj, crate::site!(), "x.write", OpKind::Write);
+                });
+                std::thread::sleep(delay / 4);
+                rt.on_call(obj, crate::site!(), "x.write", OpKind::Write);
+            });
+            if rt.reports().unique_bugs() > 0 {
+                let records = crate::sink::DurableSink::load(&path).expect("load sink");
+                assert!(
+                    records.len() >= rt.reports().total_occurrences(),
+                    "durable log must be a superset of in-memory reports"
+                );
+                std::fs::remove_dir_all(&dir).ok();
+                return;
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        panic!("no collision caught in 5 attempts");
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -31,6 +31,8 @@ pub struct TrapEntry {
     pub access: Access,
     /// Stack trace captured when the trap was set (if enabled).
     pub stack: Option<Arc<str>>,
+    /// When the trap was registered (watchdog cancels oldest-first).
+    set_at: Instant,
     state: Mutex<TrapState>,
     wake: Condvar,
 }
@@ -48,6 +50,7 @@ impl TrapEntry {
         Arc::new(TrapEntry {
             access,
             stack,
+            set_at: Instant::now(),
             state: Mutex::new(TrapState::default()),
             wake: Condvar::new(),
         })
@@ -65,9 +68,28 @@ impl TrapEntry {
         self.wake.notify_one();
     }
 
+    /// Wakes the trap's owner *without* marking the trap caught — the
+    /// watchdog's escape hatch for delay-induced starvation. Returns `true`
+    /// if this call actually cancelled a still-sleeping trap (a trap that
+    /// was already caught or cancelled is left as-is).
+    pub fn cancel(&self) -> bool {
+        let mut st = self.state.lock();
+        if st.wake_now {
+            return false;
+        }
+        st.wake_now = true;
+        self.wake.notify_one();
+        true
+    }
+
     /// Returns `true` if a conflicting access hit this trap.
     pub fn was_caught(&self) -> bool {
         self.state.lock().caught
+    }
+
+    /// How long this trap has been live.
+    pub fn age(&self) -> Duration {
+        self.set_at.elapsed()
     }
 
     /// Sleeps for up to `duration`, returning early if the trap is hit.
@@ -164,6 +186,62 @@ impl TrapTable {
     /// Number of live traps (stats).
     pub fn live_count(&self) -> usize {
         self.live.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of every live trap, across all shards.
+    fn live_traps(&self) -> Vec<Arc<TrapEntry>> {
+        if self.live.load(Ordering::SeqCst) == 0 {
+            return Vec::new();
+        }
+        let mut all = Vec::new();
+        for shard in self.shards.iter() {
+            all.extend(shard.lock().iter().cloned());
+        }
+        all
+    }
+
+    /// Cancels (wakes without marking caught) the `n` oldest live traps.
+    /// Returns how many sleeping owners were actually woken. The owners
+    /// clear their own entries on wake-up, so the table empties through the
+    /// normal path.
+    pub fn cancel_oldest(&self, n: usize) -> usize {
+        let mut traps = self.live_traps();
+        traps.sort_by_key(|t| std::cmp::Reverse(t.age()));
+        traps.iter().take(n).filter(|t| t.cancel()).count()
+    }
+
+    /// Cancels every live trap. Returns how many owners were woken.
+    pub fn cancel_all(&self) -> usize {
+        self.live_traps().iter().filter(|t| t.cancel()).count()
+    }
+}
+
+/// RAII ownership of a live trap: guarantees the entry is removed from the
+/// table — and the global live counter restored — even if a panic unwinds
+/// through the owner's sleep, the strategy's `on_delay_complete`, or the
+/// trapped wrapper call. A leaked entry would otherwise permanently disable
+/// the zero-trap fast path and leave a phantom trap for hitters to collide
+/// with.
+pub struct TrapGuard<'a> {
+    table: &'a TrapTable,
+    entry: Arc<TrapEntry>,
+}
+
+impl<'a> TrapGuard<'a> {
+    /// Takes ownership of `entry`'s presence in `table`.
+    pub fn new(table: &'a TrapTable, entry: Arc<TrapEntry>) -> TrapGuard<'a> {
+        TrapGuard { table, entry }
+    }
+
+    /// The guarded entry.
+    pub fn entry(&self) -> &Arc<TrapEntry> {
+        &self.entry
+    }
+}
+
+impl Drop for TrapGuard<'_> {
+    fn drop(&mut self) {
+        self.table.clear_trap(&self.entry);
     }
 }
 
@@ -280,6 +358,86 @@ mod tests {
             "sleeper must wake early"
         );
         assert_eq!(t2.join().expect("no panic").len(), 1);
+    }
+
+    #[test]
+    fn cancel_wakes_owner_without_catching() {
+        let table = Arc::new(TrapTable::new());
+        let trap = table.set_trap(acc(1, 7, OpKind::Write), None);
+        let canceller = {
+            let trap = trap.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                trap.cancel()
+            })
+        };
+        let start = std::time::Instant::now();
+        let caught = trap.sleep(Duration::from_millis(500));
+        assert!(!caught, "a cancelled trap is not a violation");
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "cancel must wake the sleeper early"
+        );
+        assert!(canceller.join().expect("no panic"));
+        // A second cancel is a no-op.
+        assert!(!trap.cancel());
+    }
+
+    #[test]
+    fn cancel_oldest_prefers_the_longest_sleeper() {
+        let table = TrapTable::with_shards(4);
+        let old = table.set_trap(acc(1, 7, OpKind::Write), None);
+        std::thread::sleep(Duration::from_millis(2));
+        let young = table.set_trap(acc(2, 8, OpKind::Write), None);
+        assert_eq!(table.cancel_oldest(1), 1);
+        assert!(!old.cancel(), "oldest was already cancelled");
+        assert!(young.cancel(), "youngest was left alone");
+    }
+
+    #[test]
+    fn cancel_all_sweeps_every_shard() {
+        let table = TrapTable::with_shards(4);
+        let traps: Vec<_> = (0..8)
+            .map(|obj| table.set_trap(acc(1, obj, OpKind::Write), None))
+            .collect();
+        assert_eq!(table.cancel_all(), 8);
+        for t in &traps {
+            assert!(!t.cancel(), "every trap was cancelled exactly once");
+        }
+        assert_eq!(table.cancel_all(), 0);
+    }
+
+    #[test]
+    fn guard_clears_trap_on_panic_unwind() {
+        let table = TrapTable::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let entry = table.set_trap(acc(1, 7, OpKind::Write), None);
+            let _guard = TrapGuard::new(&table, entry);
+            panic!("unwind through a live trap");
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            table.live_count(),
+            0,
+            "unwind must restore the zero-trap fast path"
+        );
+        assert!(table.check_for_trap(&acc(2, 7, OpKind::Write)).is_empty());
+    }
+
+    #[test]
+    fn guard_double_clear_is_harmless() {
+        // The owner may clear explicitly before the guard drops (the
+        // non-panic path); the counter must not underflow.
+        let table = TrapTable::new();
+        let entry = table.set_trap(acc(1, 7, OpKind::Write), None);
+        {
+            let guard = TrapGuard::new(&table, entry.clone());
+            table.clear_trap(&entry);
+            drop(guard);
+        }
+        assert_eq!(table.live_count(), 0);
+        table.set_trap(acc(1, 8, OpKind::Write), None);
+        assert_eq!(table.live_count(), 1);
     }
 
     #[test]

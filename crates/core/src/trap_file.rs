@@ -41,17 +41,49 @@ impl TrapFileData {
             .collect()
     }
 
-    /// Writes the snapshot as JSON.
+    /// Writes the snapshot as JSON, crash-safely: the JSON goes to a
+    /// temporary file in the same directory first and is atomically renamed
+    /// over `path`, so a crash mid-save leaves either the old trap file or
+    /// the new one — never a truncated hybrid.
     pub fn save(&self, path: &Path) -> io::Result<()> {
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        std::fs::write(path, json)
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "trap file has no name"))?;
+        // Same directory as the target: rename(2) is only atomic within a
+        // filesystem. The pid suffix keeps concurrent savers from clobbering
+        // each other's temporaries.
+        let mut tmp_name = file_name.to_os_string();
+        tmp_name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = match dir {
+            Some(d) => d.join(&tmp_name),
+            None => std::path::PathBuf::from(&tmp_name),
+        };
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 
-    /// Loads a snapshot from JSON.
+    /// Loads a snapshot from JSON. A *missing* file is an error (callers
+    /// distinguish first runs from later ones), but an unreadable or
+    /// corrupt file — a crash mid-write by an older, non-atomic saver, a
+    /// truncated copy — degrades to an empty trap set with a warning:
+    /// losing one run's head start must not fail the whole test suite.
     pub fn load(path: &Path) -> io::Result<TrapFileData> {
         let text = std::fs::read_to_string(path)?;
-        serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        match serde_json::from_str(&text) {
+            Ok(data) => Ok(data),
+            Err(e) => {
+                eprintln!(
+                    "tsvd: trap file {} is corrupt ({e}); starting with an empty trap set",
+                    path.display()
+                );
+                Ok(TrapFileData::default())
+            }
+        }
     }
 }
 
@@ -111,5 +143,38 @@ mod tests {
     #[test]
     fn load_missing_file_errors() {
         assert!(TrapFileData::load(Path::new("/nonexistent/tsvd.json")).is_err());
+    }
+
+    #[test]
+    fn load_corrupt_file_degrades_to_empty() {
+        let dir = std::env::temp_dir().join(format!("tsvd_trapfile_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("traps.json");
+        // A truncated save from a crashed, non-atomic writer.
+        std::fs::write(&path, "{\"pairs\": [[\"a:1:1\", \"b:2").expect("write");
+        let loaded = TrapFileData::load(&path).expect("corrupt file must not error");
+        assert!(loaded.pairs.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_replaces_atomically_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("tsvd_trapfile_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("traps.json");
+        TrapFileData::from_pairs(&[SitePair::new(site(30), site(31))])
+            .save(&path)
+            .expect("first save");
+        // Overwrite with different content: the rename path.
+        let second = TrapFileData::from_pairs(&[SitePair::new(site(32), site(33))]);
+        second.save(&path).expect("second save");
+        assert_eq!(TrapFileData::load(&path).expect("load"), second);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("read_dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive a save");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

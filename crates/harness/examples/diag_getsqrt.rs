@@ -13,10 +13,11 @@ fn main() {
         threads: 2,
         runs: 1,
         shared_trap_file: false,
+        module_deadline: Some(std::time::Duration::from_secs(30)),
     };
     for kind in [DetectorKind::Tsvd, DetectorKind::TsvdHb] {
         let m = tsvd_workloads::scenarios::paper_examples::getsqrt_cache(3);
-        let (rt, _) = run_module_once(&m, kind, &options, None);
+        let rt = run_module_once(&m, kind, &options, None).runtime;
         println!(
             "== {} delays={} bugs={}",
             kind.name(),

@@ -15,10 +15,45 @@ use tsvd_harness::report::Table;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <table1|table2|table3|table4|fig8|fig9|fneg|resources|ext|validate|coverage|all> \
+        "usage: repro <table1|table2|table3|table4|fig8|fig9|fneg|resources|ext|validate|coverage|chaos|all> \
          [--modules N] [--runs N] [--seed N] [--scale F] [--threads N]"
     );
     std::process::exit(2);
+}
+
+/// Runs the chaos storm (`--runs` iterations, default 10) and exits
+/// non-zero if any robustness invariant breaks.
+fn run_chaos_cmd(opts: &ExpOpts) {
+    let mut options = tsvd_harness::ChaosOptions::standard();
+    options.threads = opts.threads;
+    options.seed = options.seed.wrapping_add(opts.seed);
+    if opts.runs > 2 {
+        options.iterations = opts.runs;
+    }
+    let sink_path =
+        std::env::temp_dir().join(format!("tsvd_chaos_sink_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&sink_path);
+    options.config.durable_sink = Some(sink_path.clone());
+    match tsvd_harness::run_chaos(&options) {
+        Ok(report) => {
+            println!(
+                "chaos ok: {} tasks ({} panicked, {} handles dropped), \
+                 {} violations, {} delays, {} degraded iteration(s), {} durable record(s)",
+                report.tasks_spawned,
+                report.tasks_panicked,
+                report.handles_dropped,
+                report.violations,
+                report.delays,
+                report.degraded_iterations,
+                report.durable_records,
+            );
+            let _ = std::fs::remove_file(&sink_path);
+        }
+        Err(failure) => {
+            eprintln!("{failure}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn parse_opts(args: &[String]) -> ExpOpts {
@@ -93,6 +128,7 @@ fn main() {
             validate::run(&opts.with_modules(opts.modules.min(100))),
         ),
         "coverage" => emit("coverage", coverage::run(&opts)),
+        "chaos" => run_chaos_cmd(&opts),
         "all" => {
             emit("table2", table2::run(&opts));
             emit("table3", table3::run(&opts));

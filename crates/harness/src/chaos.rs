@@ -1,0 +1,300 @@
+//! Chaos mode: hostile workloads proving the runtime can't be crashed or
+//! hung.
+//!
+//! The detector's cardinal promise is *do no harm*: whatever an
+//! instrumented test does — panic mid-task, leak join handles, stall a
+//! worker inside a trap — the runtime must terminate, keep its trap table
+//! and counters consistent, and lose no caught violation. Chaos mode turns
+//! that promise into an executable check. Each iteration spawns a burst of
+//! tasks hammering shared instrumented collections while a seeded RNG
+//! injects three failure modes:
+//!
+//! 1. **task panics** — a fraction of tasks panic partway through their
+//!    accesses, unwinding through instrumented wrapper calls (and possibly
+//!    through a trap in progress);
+//! 2. **dropped handles** — a fraction of join handles are dropped without
+//!    joining, so task completion races runtime teardown;
+//! 3. **mid-trap stalls** — a fraction of tasks sleep while other threads
+//!    are delayed, pushing the pool toward the all-blocked starvation the
+//!    watchdog exists to break.
+//!
+//! After the storm, [`run_chaos`] verifies the invariants and — when a
+//! durable sink is configured — reconciles it against the in-memory
+//! reports: every surviving in-memory violation must already be on disk.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tsvd_collections::Dictionary;
+use tsvd_core::sink::{normalize_pair, DurableSink};
+use tsvd_core::{Runtime, TsvdConfig};
+use tsvd_workloads::module::ModuleCtx;
+
+/// Tuning for one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Detector configuration (the durable sink rides in here).
+    pub config: TsvdConfig,
+    /// Pool workers.
+    pub threads: usize,
+    /// Tasks spawned per iteration.
+    pub tasks: usize,
+    /// Iterations (each gets a fresh runtime and pool).
+    pub iterations: usize,
+    /// RNG seed for the failure injection.
+    pub seed: u64,
+    /// Probability (×1000) that a task panics mid-access.
+    pub panic_per_mille: u32,
+    /// Probability (×1000) that a handle is dropped without joining.
+    pub drop_per_mille: u32,
+    /// Probability (×1000) that a task stalls mid-burst.
+    pub stall_per_mille: u32,
+}
+
+impl ChaosOptions {
+    /// The standard storm: small but hostile, CI-sized.
+    pub fn standard() -> ChaosOptions {
+        ChaosOptions {
+            config: TsvdConfig::paper().scaled(0.02),
+            threads: 2,
+            tasks: 24,
+            iterations: 10,
+            seed: 0xC4A0_5EED,
+            panic_per_mille: 200,
+            drop_per_mille: 300,
+            stall_per_mille: 150,
+        }
+    }
+}
+
+/// What one chaos run did and found.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Tasks spawned across all iterations.
+    pub tasks_spawned: usize,
+    /// Tasks that were made to panic.
+    pub tasks_panicked: usize,
+    /// Join handles dropped without joining.
+    pub handles_dropped: usize,
+    /// Violations observed in-memory (all iterations, repeats included).
+    pub violations: usize,
+    /// Delays injected across all iterations.
+    pub delays: u64,
+    /// Iterations whose runtime ended degraded (watchdog stepped in).
+    pub degraded_iterations: usize,
+    /// Records found in the durable sink afterwards (0 when unconfigured).
+    pub durable_records: usize,
+}
+
+/// Invariant violation found by a chaos run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosFailure(pub String);
+
+impl std::fmt::Display for ChaosFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chaos invariant violated: {}", self.0)
+    }
+}
+
+/// Splitmix64: deterministic, dependency-free failure scheduling.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn per_mille(&mut self, p: u32) -> bool {
+        self.next() % 1000 < u64::from(p)
+    }
+}
+
+/// Runs the chaos storm and checks the invariants. `Ok` carries the
+/// activity report; `Err` names the first broken invariant.
+pub fn run_chaos(options: &ChaosOptions) -> Result<ChaosReport, ChaosFailure> {
+    let mut rng = Rng(options.seed);
+    let mut report = ChaosReport::default();
+
+    for iteration in 0..options.iterations {
+        let rt = Runtime::tsvd(options.config.clone());
+        chaos_iteration(&rt, options, &mut rng, &mut report);
+
+        // Invariant 1: every trap is cleared once the storm subsides —
+        // panicking tasks and cancelled sleepers included.
+        let live = rt.live_traps();
+        if live != 0 {
+            return Err(ChaosFailure(format!(
+                "iteration {iteration}: {live} live trap(s) after all tasks ended"
+            )));
+        }
+
+        // Invariant 2: budget bookkeeping stayed consistent — time actually
+        // slept never exceeds the per-run budget by more than one delay
+        // quantum (a sleeper admitted just under the cap may finish over it).
+        let stats = rt.stats();
+        let budget = options.config.max_delay_per_run_ns;
+        if budget != u64::MAX
+            && stats.delay_total_ns() > budget.saturating_add(options.config.delay_ns)
+        {
+            return Err(ChaosFailure(format!(
+                "iteration {iteration}: slept {}ns, budget {}ns",
+                stats.delay_total_ns(),
+                budget
+            )));
+        }
+
+        report.violations += rt.reports().total_occurrences();
+        report.delays += stats.delays_injected();
+        if rt.is_passive() {
+            report.degraded_iterations += 1;
+        }
+
+        rt.flush_durable_sink();
+    }
+
+    // Invariant 3: the durable sink, when configured, holds every pair the
+    // in-memory reports ever saw. (Chaos keeps one sink across iterations,
+    // so reconciliation happens per iteration inside chaos_iteration; the
+    // final count lands here.)
+    if let Some(path) = &options.config.durable_sink {
+        report.durable_records = DurableSink::load(path)
+            .map_err(|e| ChaosFailure(format!("durable sink unreadable: {e}")))?
+            .len();
+        if report.durable_records < report.violations {
+            return Err(ChaosFailure(format!(
+                "durable sink has {} records but {} violations were reported",
+                report.durable_records, report.violations
+            )));
+        }
+    }
+
+    Ok(report)
+}
+
+/// One iteration: a task storm against two shared dictionaries.
+fn chaos_iteration(
+    rt: &Arc<Runtime>,
+    options: &ChaosOptions,
+    rng: &mut Rng,
+    report: &mut ChaosReport,
+) {
+    let ctx = ModuleCtx::new(rt.clone(), options.threads);
+    let hot: Dictionary<u64, u64> = Dictionary::new(&ctx.runtime);
+    let cold: Dictionary<u64, u64> = Dictionary::new(&ctx.runtime);
+    let beat = ctx.beat;
+
+    let mut handles = Vec::new();
+    for task_idx in 0..options.tasks {
+        let hot = hot.clone();
+        let cold = cold.clone();
+        let panic_here = rng.per_mille(options.panic_per_mille);
+        let stall_here = rng.per_mille(options.stall_per_mille);
+        let salt = rng.next();
+        report.tasks_spawned += 1;
+        if panic_here {
+            report.tasks_panicked += 1;
+        }
+        let handle = ctx.pool.spawn(move || {
+            for step in 0..8u64 {
+                let key = (salt ^ step) % 4; // Few keys: heavy contention.
+                hot.set(key, step);
+                let _ = hot.get(&key);
+                if step == 3 {
+                    if stall_here {
+                        // Stall mid-burst while siblings may be delayed:
+                        // the all-blocked shape the watchdog must survive.
+                        std::thread::sleep(beat * 2);
+                    }
+                    if panic_here {
+                        // Unwind straight through the instrumented wrappers.
+                        panic!("chaos: task {task_idx} scripted panic");
+                    }
+                }
+                cold.set(salt % 64 + step * 64, step);
+            }
+        });
+        handles.push(handle);
+    }
+
+    for handle in handles {
+        if rng.per_mille(options.drop_per_mille) {
+            // Abandon the task: completion now races pool/runtime teardown.
+            report.handles_dropped += 1;
+            drop(handle);
+        } else {
+            // Panics propagate on join; contain them — chaos must observe,
+            // not die.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle.join()));
+        }
+    }
+
+    // Dropping the ctx (pool) ends the iteration; dropped-handle tasks may
+    // still be running on workers. Wait for the trap table to drain rather
+    // than assuming: a bounded grace window keeps the check honest.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while rt.live_traps() > 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Verifies a durable sink against a runtime's in-memory reports: every
+/// in-memory violation pair must appear in the sink file (the write-ahead
+/// guarantee). Returns the number of durable records.
+pub fn reconcile_sink(rt: &Runtime, path: &Path) -> Result<usize, String> {
+    let records = DurableSink::load(path).map_err(|e| format!("load {}: {e}", path.display()))?;
+    let on_disk: std::collections::HashSet<(String, String)> =
+        records.iter().map(|r| r.pair_key()).collect();
+    for v in rt.reports().violations() {
+        let key = normalize_pair(&v.trapped.site.to_string(), &v.hitter.site.to_string());
+        if !on_disk.contains(&key) {
+            return Err(format!(
+                "violation {} / {} reported in memory but missing from the durable sink",
+                key.0, key.1
+            ));
+        }
+    }
+    Ok(records.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_standard_terminates_with_invariants_intact() {
+        let mut options = ChaosOptions::standard();
+        options.iterations = 3;
+        let report = run_chaos(&options).expect("invariants hold");
+        assert_eq!(report.tasks_spawned, 3 * options.tasks);
+        assert!(report.tasks_panicked > 0, "the storm must include panics");
+    }
+
+    #[test]
+    fn chaos_with_durable_sink_reconciles() {
+        let dir = std::env::temp_dir().join(format!("tsvd_chaos_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("violations.jsonl");
+        let mut options = ChaosOptions::standard();
+        options.iterations = 4;
+        options.config.durable_sink = Some(path.clone());
+        let report = run_chaos(&options).expect("invariants hold");
+        if report.violations > 0 {
+            assert!(report.durable_records >= report.violations);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng(42);
+        let mut b = Rng(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+}

@@ -59,6 +59,7 @@ impl ExpOpts {
             threads: self.threads,
             runs: self.runs,
             shared_trap_file: false,
+            module_deadline: Some(std::time::Duration::from_secs(30)),
         }
     }
 

@@ -64,12 +64,13 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
 
     for _run in 0..options.runs {
         for module in &suite {
-            let (rt, _wall) = run_module_once(
+            let rt = run_module_once(
                 module,
                 DetectorKind::Tsvd,
                 &options,
                 trap_files.get(module.name()),
-            );
+            )
+            .runtime;
             if let Some(tf) = rt.export_trap_file() {
                 trap_files.insert(module.name().to_owned(), tf);
             }

@@ -42,12 +42,13 @@ pub fn run(opts: &ExpOpts) -> Vec<Table> {
         let mut wall_total = 0u64;
         let mut runs_used = 0usize;
         for run in 1..=2 {
-            let (rt, wall) = run_module_once(
+            let module_run = run_module_once(
                 &project.module,
                 DetectorKind::Tsvd,
                 &options,
                 trap_file.as_ref(),
             );
+            let (rt, wall) = (module_run.runtime, module_run.wall_ns);
             wall_total += wall;
             runs_used = run;
             trap_file = rt.export_trap_file();

@@ -15,8 +15,10 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use runner::{DetectorKind, RunOptions, SuiteOutcome};
+pub use chaos::{run_chaos, ChaosOptions, ChaosReport};
+pub use runner::{DetectorKind, ModuleOutcome, ModuleRun, RunOptions, SuiteOutcome};

@@ -1,8 +1,9 @@
 //! The suite runner: executes modules under detectors and aggregates.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tsvd_core::near_miss::SitePair;
 use tsvd_core::{Runtime, TrapFileData, TsvdConfig};
@@ -74,6 +75,11 @@ pub struct RunOptions {
     /// module pre-arms the same static locations everywhere else — even
     /// within run 1, for modules scheduled later.
     pub shared_trap_file: bool,
+    /// Wall-clock deadline for a single module execution. When set, each
+    /// module runs on a watched thread; blowing the deadline abandons the
+    /// runtime (delays cancelled, injection off) and records a
+    /// [`ModuleOutcome::TimedOut`] instead of hanging the suite.
+    pub module_deadline: Option<Duration>,
 }
 
 impl RunOptions {
@@ -84,8 +90,31 @@ impl RunOptions {
             threads: 2,
             runs: 2,
             shared_trap_file: false,
+            module_deadline: Some(Duration::from_secs(30)),
         }
     }
+}
+
+/// How a single module execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModuleOutcome {
+    /// The module body returned normally.
+    Completed,
+    /// The module body panicked (the panic was contained; the suite goes on).
+    Panicked,
+    /// The module blew its deadline and its runtime was abandoned.
+    TimedOut,
+}
+
+/// Result of [`run_module_once`]: the runtime (reports, stats, trap file)
+/// plus how the execution ended.
+pub struct ModuleRun {
+    /// The runtime the module ran under.
+    pub runtime: Arc<Runtime>,
+    /// Wall-clock nanoseconds the execution took.
+    pub wall_ns: u64,
+    /// How it ended.
+    pub outcome: ModuleOutcome,
 }
 
 /// Per-run aggregate of a suite execution.
@@ -116,6 +145,10 @@ pub struct SuiteOutcome {
     pub occurrences: HashMap<BugKey, usize>,
     /// Peak strategy memory estimate across module runs, bytes.
     pub peak_strategy_bytes: usize,
+    /// Module executions that blew their deadline (runtime abandoned).
+    pub timeouts: usize,
+    /// Module executions whose body panicked (contained).
+    pub panics: usize,
 }
 
 impl SuiteOutcome {
@@ -157,23 +190,79 @@ impl SuiteOutcome {
     }
 }
 
-/// Runs `module` once under a fresh runtime, returning the runtime and the
-/// wall time.
+/// Runs `module` once under a fresh runtime. Panics in the module body are
+/// contained; with a deadline configured the body runs on a watched thread
+/// and is abandoned (runtime degraded to passive, delays cancelled) when it
+/// overruns.
 pub fn run_module_once(
     module: &Module,
     kind: DetectorKind,
     options: &RunOptions,
     trap_file: Option<&TrapFileData>,
-) -> (Arc<Runtime>, u64) {
+) -> ModuleRun {
     let rt = kind.build(options.config.clone());
     if let Some(tf) = trap_file {
         rt.import_trap_file(tf);
     }
     let ctx = ModuleCtx::new(rt.clone(), options.threads);
     let start = Instant::now();
-    module.run(&ctx);
+    let outcome = match options.module_deadline {
+        None => {
+            let body = std::panic::AssertUnwindSafe(|| module.run(&ctx));
+            match std::panic::catch_unwind(body) {
+                Ok(()) => ModuleOutcome::Completed,
+                Err(_) => ModuleOutcome::Panicked,
+            }
+        }
+        Some(deadline) => run_watched(module, ctx, deadline, &rt),
+    };
     let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
-    (rt, wall_ns)
+    ModuleRun {
+        runtime: rt,
+        wall_ns,
+        outcome,
+    }
+}
+
+/// Runs the module body on a watched thread with a wall-clock deadline.
+fn run_watched(
+    module: &Module,
+    ctx: ModuleCtx,
+    deadline: Duration,
+    rt: &Arc<Runtime>,
+) -> ModuleOutcome {
+    let (tx, rx) = mpsc::channel::<bool>();
+    let m = module.clone();
+    let watched = std::thread::Builder::new()
+        .name(format!("tsvd-module-{}", m.name()))
+        .spawn(move || {
+            let body = std::panic::AssertUnwindSafe(|| m.run(&ctx));
+            let ok = std::panic::catch_unwind(body).is_ok();
+            let _ = tx.send(ok);
+        })
+        .expect("spawn watched module thread");
+    match rx.recv_timeout(deadline) {
+        Ok(true) => {
+            let _ = watched.join();
+            ModuleOutcome::Completed
+        }
+        Ok(false) => {
+            let _ = watched.join();
+            ModuleOutcome::Panicked
+        }
+        Err(_) => {
+            // Deadline blown. Abandoning cancels every injected delay and
+            // turns injection off, so a module wedged *behind* delays can
+            // drain; give it one more deadline to do so.
+            rt.abandon();
+            if rx.recv_timeout(deadline).is_ok() {
+                let _ = watched.join();
+            }
+            // If it is still stuck the thread is detached: its pool and
+            // runtime stay alive behind Arcs and the suite moves on.
+            ModuleOutcome::TimedOut
+        }
+    }
 }
 
 /// Runs the whole suite under `kind` for `options.runs` runs, carrying each
@@ -185,6 +274,8 @@ pub fn run_suite(suite: &[Module], kind: DetectorKind, options: &RunOptions) -> 
         bugs: HashMap::new(),
         occurrences: HashMap::new(),
         peak_strategy_bytes: 0,
+        timeouts: 0,
+        panics: 0,
     };
     let mut trap_files: HashMap<String, TrapFileData> = HashMap::new();
     let mut shared: TrapFileData = TrapFileData::default();
@@ -206,7 +297,13 @@ pub fn run_suite(suite: &[Module], kind: DetectorKind, options: &RunOptions) -> 
             } else {
                 trap_files.get(module.name())
             };
-            let (rt, wall_ns) = run_module_once(module, kind, &run_options, import);
+            let run = run_module_once(module, kind, &run_options, import);
+            let (rt, wall_ns) = (run.runtime, run.wall_ns);
+            match run.outcome {
+                ModuleOutcome::Completed => {}
+                ModuleOutcome::Panicked => outcome.panics += 1,
+                ModuleOutcome::TimedOut => outcome.timeouts += 1,
+            }
             agg.wall_ns += wall_ns;
             agg.delays += rt.stats().delays_injected();
             agg.delay_ns += rt.stats().delay_total_ns();
@@ -284,6 +381,7 @@ mod tests {
             threads: 2,
             runs: 2,
             shared_trap_file: false,
+            module_deadline: Some(Duration::from_secs(30)),
         }
     }
 
@@ -314,6 +412,40 @@ mod tests {
         assert_eq!(cum.len(), 2);
         assert!(cum[1] >= cum[0]);
         assert_eq!(*cum.last().expect("two runs"), outcome.total_bugs());
+    }
+
+    #[test]
+    fn panicking_module_is_contained() {
+        use tsvd_workloads::module::{Expectation, Module};
+        let m = Module::new("boom", 1, Expectation::Clean, false, "List", |_| {
+            panic!("module body explodes")
+        });
+        let run = run_module_once(&m, DetectorKind::Tsvd, &options(), None);
+        assert_eq!(run.outcome, ModuleOutcome::Panicked);
+        assert_eq!(run.runtime.live_traps(), 0);
+        // The suite path counts it and keeps going.
+        let outcome = run_suite(&[m], DetectorKind::Tsvd, &options());
+        assert_eq!(outcome.panics, options().runs);
+    }
+
+    #[test]
+    fn overrunning_module_times_out_and_degrades() {
+        use tsvd_workloads::module::{Expectation, Module};
+        // The body sleeps far past the deadline in plain thread sleeps the
+        // watchdog cannot cancel — only the deadline machinery ends it.
+        let m = Module::new("slow", 1, Expectation::Clean, false, "List", |_| {
+            std::thread::sleep(Duration::from_millis(400));
+        });
+        let mut opts = options();
+        opts.module_deadline = Some(Duration::from_millis(50));
+        let start = Instant::now();
+        let run = run_module_once(&m, DetectorKind::Tsvd, &opts, None);
+        assert_eq!(run.outcome, ModuleOutcome::TimedOut);
+        assert!(run.runtime.is_passive(), "timeout must abandon the runtime");
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "the runner must not wait for the stuck body forever"
+        );
     }
 
     #[test]

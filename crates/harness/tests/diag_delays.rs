@@ -18,12 +18,14 @@ fn per_family_delays() {
         threads: 2,
         runs: 1,
         shared_trap_file: false,
+        module_deadline: Some(std::time::Duration::from_secs(30)),
     };
     for kind in [DetectorKind::Tsvd, DetectorKind::TsvdHb] {
         let mut per: HashMap<String, (u64, u64)> = HashMap::new();
         for m in &suite {
             let fam = m.name().split(':').nth(1).unwrap_or("?").to_string();
-            let (rt, wall) = run_module_once(m, kind, &options, None);
+            let run = run_module_once(m, kind, &options, None);
+            let (rt, wall) = (run.runtime, run.wall_ns);
             let e = per.entry(fam).or_default();
             e.0 += rt.stats().delays_injected();
             e.1 += wall / 1_000_000;

@@ -40,12 +40,21 @@ impl PoolInner {
     /// dependency graph is acyclic.
     pub fn enter_blocked_wait(&self) {
         self.blocked_waiters.fetch_add(1, Ordering::SeqCst);
+        // The runtime's watchdog counts blocked workers too: a pool whose
+        // every thread is blocked-or-delayed is starving, and only the
+        // watchdog can cancel the delays that keep it so.
+        if let Some(rt) = &self.runtime {
+            rt.enter_blocked();
+        }
         self.maybe_inject();
     }
 
     /// Clears the blocked mark set by [`PoolInner::enter_blocked_wait`].
     pub fn exit_blocked_wait(&self) {
         self.blocked_waiters.fetch_sub(1, Ordering::SeqCst);
+        if let Some(rt) = &self.runtime {
+            rt.exit_blocked();
+        }
     }
 
     /// Injects a relief worker if the pool looks starved.
@@ -67,10 +76,12 @@ impl PoolInner {
         }
         self.worker_count.fetch_add(1, Ordering::SeqCst);
         let rx = self.rx.clone();
+        let runtime = self.runtime.clone();
         let idx = self.injected.load(Ordering::SeqCst);
         std::thread::Builder::new()
             .name(format!("tsvd-relief-{idx}"))
             .spawn(move || {
+                let _watchdog = runtime.as_ref().map(|rt| rt.register_worker());
                 while let Ok(job) = rx.recv() {
                     job();
                 }
@@ -129,9 +140,13 @@ impl Pool {
         let workers = (0..threads.max(1))
             .map(|i| {
                 let rx = rx.clone();
+                let runtime = inner.runtime.clone();
                 std::thread::Builder::new()
                     .name(format!("tsvd-worker-{i}"))
                     .spawn(move || {
+                        // Register with the runtime's delay watchdog for the
+                        // thread's lifetime (RAII deregisters on exit).
+                        let _watchdog = runtime.as_ref().map(|rt| rt.register_worker());
                         // Drains until every sender (pool handle) is gone.
                         while let Ok(job) = rx.recv() {
                             job();
@@ -382,6 +397,30 @@ mod tests {
             "{}",
             rt.stats().sync_events()
         );
+    }
+
+    #[test]
+    fn workers_register_with_the_runtime_watchdog() {
+        let rt = Runtime::noop(TsvdConfig::for_testing());
+        let pool = Pool::with_runtime(3, rt.clone());
+        // Worker registration happens as the threads start up.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while rt.watchdog().workers() < 3 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(rt.watchdog().workers(), 3);
+        // Tasks run on registered worker threads.
+        let t = pool.spawn(tsvd_core::watchdog::is_worker_thread);
+        assert!(t.join(), "pool task must run on a registered worker");
+        assert!(
+            !tsvd_core::watchdog::is_worker_thread(),
+            "the test thread itself is not a worker"
+        );
+        drop(pool);
+        while rt.watchdog().workers() > 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(rt.watchdog().workers(), 0, "RAII must deregister workers");
     }
 
     #[test]

@@ -63,6 +63,10 @@ impl Expectation {
 }
 
 /// A schedulable test module with ground-truth metadata.
+///
+/// Cloning is cheap (the body is shared behind an `Arc`), which lets the
+/// harness move a copy onto a watched thread for deadline enforcement.
+#[derive(Clone)]
 pub struct Module {
     name: String,
     /// Nominal unit-test count (Table 1/4 statistics).

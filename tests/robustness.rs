@@ -13,6 +13,7 @@ fn options(seed_shift: u64) -> RunOptions {
         threads: 2,
         runs: 1,
         shared_trap_file: false,
+        module_deadline: Some(std::time::Duration::from_secs(30)),
     }
 }
 
@@ -53,12 +54,175 @@ fn repeated_single_module_runs_are_stable() {
     let m = tsvd::workloads::scenarios::paper_examples::dict_racy(8);
     let o = options(0);
     for _ in 0..6 {
-        let (rt, _) = tsvd::harness::runner::run_module_once(&m, DetectorKind::Tsvd, &o, None);
+        let rt = tsvd::harness::runner::run_module_once(&m, DetectorKind::Tsvd, &o, None).runtime;
         assert!(rt.reports().unique_bugs() <= 2);
         for v in rt.reports().violations() {
             assert!(v.trapped.op_name.starts_with("Dictionary."));
         }
     }
+}
+
+/// A strategy that always delays and always panics in `on_delay_complete`
+/// — the hostile-callback case the runtime's RAII guards must absorb.
+struct PanickingStrategy;
+
+impl tsvd::core::Strategy for PanickingStrategy {
+    fn name(&self) -> &'static str {
+        "panicking"
+    }
+
+    fn on_access(&self, _access: &tsvd::core::Access) -> Option<u64> {
+        Some(100_000) // 0.1 ms: enough to arm a real trap.
+    }
+
+    fn on_delay_complete(
+        &self,
+        _access: &tsvd::core::Access,
+        _start_ns: u64,
+        _end_ns: u64,
+        _caught: bool,
+    ) {
+        panic!("strategy callback explodes");
+    }
+}
+
+#[test]
+fn panicking_strategy_callback_leaves_no_live_traps() {
+    let rt = tsvd::core::Runtime::new(TsvdConfig::for_testing(), Box::new(PanickingStrategy));
+    for i in 0..5u64 {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.on_call(
+                tsvd::core::ObjId(i),
+                tsvd::core::site!(),
+                "t.op",
+                tsvd::core::OpKind::Write,
+            );
+        }));
+        assert!(result.is_err(), "the callback's panic must propagate");
+        assert_eq!(
+            rt.live_traps(),
+            0,
+            "a panic unwinding through on_call must still clear the trap"
+        );
+    }
+}
+
+#[test]
+fn panicking_instrumented_task_leaves_no_live_traps() {
+    // Unwind through the trapped wrapper call itself: a task panics right
+    // after instrumented accesses that may be sleeping in a delay.
+    let mut config = TsvdConfig::for_testing();
+    config.dynamic_random_p = 1.0; // Delay at every access.
+    for _ in 0..10 {
+        let rt = tsvd::core::Runtime::dynamic_random(config.clone());
+        let pool = Pool::with_runtime(2, rt.clone());
+        let dict: Dictionary<u64, u64> = Dictionary::new(&rt);
+        let handles: Vec<_> = (0..4u64)
+            .map(|i| {
+                let d = dict.clone();
+                pool.spawn(move || {
+                    d.set(i % 2, i);
+                    panic!("task dies mid-burst");
+                })
+            })
+            .collect();
+        for h in handles {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.join()));
+        }
+        assert_eq!(rt.live_traps(), 0, "panicked tasks must not leak traps");
+    }
+}
+
+#[test]
+fn chaos_loop_over_buggy_and_clean_suite() {
+    // 100 hostile iterations over a mixed suite: panicking tasks, dropped
+    // handles, stalls. The suite must always terminate, never leak traps,
+    // and never report a bug in a clean module.
+    let mut chaos_options = tsvd::harness::ChaosOptions::standard();
+    chaos_options.iterations = 100;
+    chaos_options.tasks = 8;
+    let report = tsvd::harness::run_chaos(&chaos_options).expect("chaos invariants hold");
+    assert_eq!(report.tasks_spawned, 800);
+    assert!(report.tasks_panicked > 0);
+    assert!(report.handles_dropped > 0);
+
+    // The ordinary suite still behaves right after the storm (clean modules
+    // stay clean even with panic-adjacent machinery warmed up).
+    let suite = build_suite(SuiteConfig {
+        modules: 10,
+        seed: 0xC4A05,
+    });
+    let outcome = run_suite(&suite, DetectorKind::Tsvd, &options(0));
+    check_no_false_positives(&suite, &outcome).expect("clean modules stay clean");
+}
+
+#[test]
+fn starved_pool_terminates_degrades_and_keeps_the_violation_on_disk() {
+    // The acceptance scenario: every pool thread ends up blocked-or-delayed
+    // behind injected delays; the watchdog must break the starvation, the
+    // module must terminate, and a violation caught before a simulated
+    // abort must be recoverable from the JSONL sink afterwards.
+    let dir = std::env::temp_dir().join(format!("tsvd_robust_sink_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let sink_path = dir.join("violations.jsonl");
+
+    let mut config = TsvdConfig::for_testing();
+    config.dynamic_random_p = 1.0; // Delay at every access.
+    config.delay_ns = 200_000_000; // 200 ms delays...
+    config.max_delay_per_run_ns = u64::MAX;
+    config.max_delay_per_context_ns = u64::MAX;
+    config.watchdog_poll_ns = 2_000_000; // ...polled every 2 ms,
+    config.watchdog_grace_polls = 2;
+    config.watchdog_max_cancellations = 4; // ...degrading quickly.
+    config.durable_sink = Some(sink_path.clone());
+
+    let rt = tsvd::core::Runtime::dynamic_random(config);
+    let start = std::time::Instant::now();
+    {
+        let pool = Pool::with_runtime(2, rt.clone());
+        let dict: Dictionary<u64, u64> = Dictionary::new(&rt);
+        // Many contending tasks on a 2-worker pool: both workers sit in
+        // 200 ms delays back to back — delay-induced starvation.
+        let handles: Vec<_> = (0..16u64)
+            .map(|i| {
+                let d = dict.clone();
+                pool.spawn(move || {
+                    d.set(i % 2, i);
+                    let _ = d.get(&(i % 2));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.wait();
+        }
+    }
+    // Without the watchdog this workload needs 32+ sequential 200 ms
+    // delays (≥6.4 s); cancellations + degradation must finish it fast.
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(6),
+        "watchdog did not break the starvation (took {:?})",
+        start.elapsed()
+    );
+    assert!(
+        rt.is_passive(),
+        "repeated starvation must degrade the runtime to passive monitoring"
+    );
+    assert_eq!(rt.live_traps(), 0);
+
+    let caught = rt.reports().total_occurrences();
+    // Simulated abort: drop the runtime without any orderly export. The
+    // write-ahead sink must already hold everything that was reported.
+    drop(rt);
+    if caught > 0 {
+        let records = tsvd::core::DurableSink::load(&sink_path).expect("sink readable after abort");
+        assert!(
+            records.len() >= caught,
+            "sink has {} records, {} violations were caught",
+            records.len(),
+            caught
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -14,6 +14,7 @@ fn options(runs: usize) -> RunOptions {
         threads: 2,
         runs,
         shared_trap_file: false,
+        module_deadline: Some(std::time::Duration::from_secs(30)),
     }
 }
 
@@ -66,12 +67,13 @@ fn open_source_projects_are_caught_within_three_runs() {
         total += 1;
         let mut trap_file = None;
         for _run in 0..3 {
-            let (rt, _) = run_module_once(
+            let rt = run_module_once(
                 &project.module,
                 DetectorKind::Tsvd,
                 &opts,
                 trap_file.as_ref(),
-            );
+            )
+            .runtime;
             trap_file = rt.export_trap_file();
             if rt.reports().unique_bugs() > 0 {
                 caught += 1;
@@ -100,7 +102,7 @@ fn new_collection_scenarios_are_caught_within_three_runs() {
     for m in &scenarios {
         let mut trap_file = None;
         for _run in 0..3 {
-            let (rt, _) = run_module_once(m, DetectorKind::Tsvd, &opts, trap_file.as_ref());
+            let rt = run_module_once(m, DetectorKind::Tsvd, &opts, trap_file.as_ref()).runtime;
             trap_file = rt.export_trap_file();
             if rt.reports().unique_bugs() > 0 {
                 caught += 1;

@@ -199,6 +199,18 @@ impl Serialize for &str {
     }
 }
 
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string_lossy().into_owned())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        String::from_value(value).map(std::path::PathBuf::from)
+    }
+}
+
 // --- Composite impls --------------------------------------------------------
 
 impl<T: Serialize> Serialize for Vec<T> {
@@ -307,6 +319,13 @@ pub mod __private {
     ) -> Result<&'v Value, Error> {
         map.get(key)
             .ok_or_else(|| Error::msg(format!("{type_name}: missing field `{key}`")))
+    }
+
+    /// Looks up `key`, returning `None` when absent — the lookup behind
+    /// `#[serde(default)]` fields, which tolerate files written before the
+    /// field existed.
+    pub fn opt_field<'v>(map: &'v BTreeMap<String, Value>, key: &str) -> Option<&'v Value> {
+        map.get(key)
     }
 }
 

@@ -3,21 +3,30 @@
 //! Derives the stub `serde::Serialize` / `serde::Deserialize` traits (the
 //! `to_value` / `from_value` pair) for plain named-field structs. The input
 //! is parsed directly from the raw `TokenStream` — no `syn`/`quote`, since
-//! the build container has no registry access. Enums, tuple structs,
-//! generics, and `#[serde(...)]` attributes are intentionally unsupported;
-//! the workspace's serialized types are all simple named-field structs.
+//! the build container has no registry access. Enums, tuple structs, and
+//! generics are intentionally unsupported; the workspace's serialized types
+//! are all simple named-field structs.
+//!
+//! Of serde's field attributes, exactly two spellings are honored —
+//! `#[serde(default)]` and `#[serde(default = "path::to::fn")]` — so that
+//! persisted formats (configs, trap files, durable sinks) can grow new
+//! fields without breaking deserialization of files written by older
+//! builds. Any other `#[serde(...)]` content is ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` (`fn to_value(&self) -> serde::Value`).
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let s = parse_struct(input);
     let inserts: String = s
         .fields
         .iter()
         .map(|f| {
-            format!("map.insert(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}));\n")
+            format!(
+                "map.insert(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}));\n",
+                f = f.name
+            )
         })
         .collect();
     let out = format!(
@@ -36,19 +45,34 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize` (`fn from_value(&Value) -> Result<Self, _>`).
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let s = parse_struct(input);
     let fields: String = s
         .fields
         .iter()
-        .map(|f| {
-            format!(
+        .map(|f| match &f.default {
+            None => format!(
                 "{f}: serde::Deserialize::from_value(\
                      serde::__private::field(map, \"{name}\", \"{f}\")?\
                  )?,\n",
                 name = s.name,
-            )
+                f = f.name,
+            ),
+            Some(spec) => {
+                let fallback = match spec {
+                    DefaultSpec::Trait => "Default::default()".to_string(),
+                    DefaultSpec::Path(p) => format!("{p}()"),
+                };
+                format!(
+                    "{f}: match serde::__private::opt_field(map, \"{f}\") {{\n\
+                         Some(v) => serde::Deserialize::from_value(v)?,\n\
+                         None => {fallback},\n\
+                     }},\n",
+                    f = f.name,
+                    fallback = fallback,
+                )
+            }
         })
         .collect();
     let out = format!(
@@ -68,14 +92,61 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive: generated impl must parse")
 }
 
-struct StructDef {
-    name: String,
-    fields: Vec<String>,
+/// How a missing field is filled during deserialization.
+enum DefaultSpec {
+    /// `#[serde(default)]` — `Default::default()`.
+    Trait,
+    /// `#[serde(default = "path")]` — call the named function.
+    Path(String),
 }
 
-/// Extracts the struct name and its named-field identifiers from a
-/// `DeriveInput`-shaped token stream:
-/// `(#[attr])* (pub)? struct Name { (pub)? field: Type, ... }`.
+struct FieldDef {
+    name: String,
+    default: Option<DefaultSpec>,
+}
+
+struct StructDef {
+    name: String,
+    fields: Vec<FieldDef>,
+}
+
+/// Recognizes `[serde(default)]` / `[serde(default = "path")]` in a field
+/// attribute's bracketed group, returning the default spec if present.
+fn parse_serde_default(group: &proc_macro::Group) -> Option<DefaultSpec> {
+    if group.delimiter() != Delimiter::Bracket {
+        return None;
+    }
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let args = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return None,
+    };
+    let mut inner = args.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        _ => return None,
+    }
+    match inner.next() {
+        None => Some(DefaultSpec::Trait),
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => match inner.next() {
+            Some(TokenTree::Literal(lit)) => {
+                let raw = lit.to_string();
+                let path = raw.trim_matches('"').to_string();
+                Some(DefaultSpec::Path(path))
+            }
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Extracts the struct name and its named-field identifiers (plus any
+/// `#[serde(default)]` specs) from a `DeriveInput`-shaped token stream:
+/// `(#[attr])* (pub)? struct Name { (#[attr])* (pub)? field: Type, ... }`.
 fn parse_struct(input: TokenStream) -> StructDef {
     let mut tokens = input.into_iter().peekable();
 
@@ -130,10 +201,12 @@ fn parse_struct(input: TokenStream) -> StructDef {
 
     // Within the body, each field is `(#[attr])* (pub)? ident : Type`,
     // separated by top-level commas. Only the identifier before each `:` at
-    // angle-bracket depth 0 matters.
+    // angle-bracket depth 0 matters; field attributes are scanned for
+    // `serde(default)` specs, which attach to the next field name.
     let mut fields = Vec::new();
     let mut depth = 0usize;
     let mut pending: Option<String> = None;
+    let mut pending_default: Option<DefaultSpec> = None;
     let mut field_taken = false;
     let mut body_tokens = body.stream().into_iter().peekable();
     while let Some(tt) = body_tokens.next() {
@@ -143,6 +216,7 @@ fn parse_struct(input: TokenStream) -> StructDef {
                 '>' => depth = depth.saturating_sub(1),
                 ',' if depth == 0 => {
                     pending = None;
+                    pending_default = None;
                     field_taken = false;
                 }
                 ':' if depth == 0 && !field_taken => {
@@ -155,12 +229,20 @@ fn parse_struct(input: TokenStream) -> StructDef {
                         }
                     }
                     if let Some(f) = pending.take() {
-                        fields.push(f);
+                        fields.push(FieldDef {
+                            name: f,
+                            default: pending_default.take(),
+                        });
                         field_taken = true;
                     }
                 }
                 '#' => {
-                    body_tokens.next(); // field attribute group
+                    // Field attribute group: keep any serde(default) spec.
+                    if let Some(TokenTree::Group(g)) = body_tokens.next() {
+                        if let Some(spec) = parse_serde_default(&g) {
+                            pending_default = Some(spec);
+                        }
+                    }
                 }
                 _ => {}
             },

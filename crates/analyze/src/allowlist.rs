@@ -1,0 +1,181 @@
+//! The escape allowlist: intentional raw-collection usages.
+//!
+//! The paper's binary rewriter deliberately skips some call sites (its own
+//! runtime, synchronized wrappers); this repo's analog is an allowlist file
+//! checked in next to the workspace. The format is a small TOML subset,
+//! parsed by hand because the build is offline:
+//!
+//! ```toml
+//! [[allow]]
+//! path = "crates/collections/src/raw.rs"   # exact file or directory prefix
+//! name = "RawCell"                          # optional: only this type
+//! line = 40                                 # optional: only this line
+//! reason = "the raw cell IS the instrumentation substrate"
+//! ```
+//!
+//! An escape is allowed when any entry's `path` is an exact match or a
+//! path-component prefix of the escape's file, and every present optional
+//! key also matches.
+
+use std::io;
+use std::path::Path;
+
+/// One allowlist entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Workspace-relative file, or a directory prefix (`crates/x/benches`).
+    pub path: String,
+    /// Restrict to this raw type name (e.g. `HashMap`), if present.
+    pub name: Option<String>,
+    /// Restrict to this 1-based line, if present.
+    pub line: Option<u32>,
+    /// Why the raw usage is intentional (documentation; not matched on).
+    pub reason: String,
+}
+
+impl AllowEntry {
+    /// Does this entry cover an escape at `file`:`line` of type `name`?
+    pub fn covers(&self, file: &str, line: u32, name: &str) -> bool {
+        let path_ok = file == self.path
+            || (file.starts_with(&self.path)
+                && file.as_bytes().get(self.path.len()) == Some(&b'/'));
+        path_ok
+            && self.line.is_none_or(|l| l == line)
+            && self.name.as_deref().is_none_or(|n| n == name)
+    }
+}
+
+/// A parsed allowlist.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    /// The entries, in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (nothing is allowed).
+    pub fn empty() -> Allowlist {
+        Allowlist::default()
+    }
+
+    /// Loads and parses `path`.
+    pub fn load(path: &Path) -> io::Result<Allowlist> {
+        Ok(Self::parse(&std::fs::read_to_string(path)?))
+    }
+
+    /// Parses allowlist text. Unknown keys are ignored; entries without a
+    /// `path` are dropped (they could never match anything).
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        let mut current: Option<AllowEntry> = None;
+        for raw_line in text.lines() {
+            let line = match raw_line.split_once('#') {
+                // A `#` inside quotes is part of the value, not a comment.
+                Some((before, _)) if before.matches('"').count() % 2 == 0 => before,
+                _ => raw_line,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some(e) = current.take() {
+                    if !e.path.is_empty() {
+                        entries.push(e);
+                    }
+                }
+                current = Some(AllowEntry::default());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                continue;
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let Some(entry) = current.as_mut() else {
+                continue;
+            };
+            let unquoted = value.trim_matches('"');
+            match key {
+                "path" => entry.path = unquoted.trim_end_matches('/').to_string(),
+                "name" => entry.name = Some(unquoted.to_string()),
+                "line" => entry.line = value.parse().ok(),
+                "reason" => entry.reason = unquoted.to_string(),
+                _ => {}
+            }
+        }
+        if let Some(e) = current.take() {
+            if !e.path.is_empty() {
+                entries.push(e);
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// Returns `true` if any entry covers the escape.
+    pub fn allows(&self, file: &str, line: u32, name: &str) -> bool {
+        self.entries.iter().any(|e| e.covers(file, line, name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# intentional raw usages
+[[allow]]
+path = "crates/collections/src/raw.rs"
+reason = "the raw cell is the substrate"
+
+[[allow]]
+path = "crates/x/benches"
+name = "HashMap"
+reason = "bench bookkeeping # not a comment"
+
+[[allow]]
+path = "exact.rs"
+line = 7
+reason = "one line only"
+"#;
+
+    #[test]
+    fn parses_entries() {
+        let al = Allowlist::parse(SAMPLE);
+        assert_eq!(al.entries.len(), 3);
+        assert_eq!(al.entries[0].path, "crates/collections/src/raw.rs");
+        assert_eq!(al.entries[1].name.as_deref(), Some("HashMap"));
+        assert!(al.entries[1].reason.contains("# not a comment"));
+        assert_eq!(al.entries[2].line, Some(7));
+    }
+
+    #[test]
+    fn exact_file_match() {
+        let al = Allowlist::parse(SAMPLE);
+        assert!(al.allows("crates/collections/src/raw.rs", 99, "RawCell"));
+        assert!(!al.allows("crates/collections/src/raw.rs.bak", 1, "RawCell"));
+    }
+
+    #[test]
+    fn directory_prefix_match_respects_components() {
+        let al = Allowlist::parse(SAMPLE);
+        assert!(al.allows("crates/x/benches/b.rs", 1, "HashMap"));
+        assert!(
+            !al.allows("crates/x/benches/b.rs", 1, "VecDeque"),
+            "name-restricted"
+        );
+        assert!(!al.allows("crates/x/benches_extra/b.rs", 1, "HashMap"));
+    }
+
+    #[test]
+    fn line_restriction() {
+        let al = Allowlist::parse(SAMPLE);
+        assert!(al.allows("exact.rs", 7, "HashMap"));
+        assert!(!al.allows("exact.rs", 8, "HashMap"));
+    }
+
+    #[test]
+    fn pathless_entries_are_dropped() {
+        let al = Allowlist::parse("[[allow]]\nreason = \"no path\"\n");
+        assert!(al.entries.is_empty());
+    }
+}

@@ -1,0 +1,938 @@
+//! The per-file analyses: escape lint, site database, dangerous-pair
+//! candidates.
+//!
+//! Everything here is a token-level heuristic, deliberately so — the
+//! offline build has no real Rust parser, and the paper's own static
+//! proxy-method pass (§3.1) is similarly shallow: find the call sites that
+//! *look* thread-unsafe and let the dynamic detector confirm. False
+//! positives cost a wasted trap; false negatives fall back to dynamic
+//! near-miss discovery. The heuristics and their known limits:
+//!
+//! - **Provenance** comes from `use` statements and fully-qualified paths.
+//!   A bare `HashSet` with no import evidence is not flagged.
+//! - **Bindings** are tracked through `let x = Class::new()` /
+//!   `::unmonitored()` / `::with_*` and `let y = x.clone()` (wrapper
+//!   handles share storage, so a clone aliases its root). Bindings reset at
+//!   each `fn` item; fields (`self.map`) are not tracked.
+//! - **Concurrency regions** are the parenthesized extents of
+//!   `spawn`/`spawn_fast`/`parallel_for_each`/`parallel_invoke` calls (plus
+//!   `.run`/`.run_with_hook` in files that mention `Task`). A region inside
+//!   a loop, or started by `parallel_for_each`/`parallel_invoke`, is
+//!   *multi-instance*: its body races with itself.
+
+use std::collections::HashMap;
+
+use tsvd_core::access::classify_op;
+use tsvd_core::OpKind;
+
+use crate::lexer::{tokenize, TokKind, Token};
+use crate::report::{site_text, Escape, StaticPair, StaticSite};
+
+/// Raw (uninstrumented) collection type names worth flagging.
+const RAW_TYPES: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "VecDeque",
+    "LinkedList",
+    "BinaryHeap",
+    "RawCell",
+];
+
+/// Idents that start a concurrency region when directly called.
+const SPAWN_CALLS: &[&str] = &[
+    "spawn",
+    "spawn_fast",
+    "parallel_for_each",
+    "parallel_invoke",
+];
+
+/// Inherently multi-instance spawn calls: the closure runs once per item.
+const MULTI_SPAWN_CALLS: &[&str] = &["parallel_for_each", "parallel_invoke"];
+
+/// Everything the analyzer learned about one file.
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Raw-collection escapes (unfiltered; allowlisting happens later).
+    pub escapes: Vec<Escape>,
+    /// Instrumented-collection call sites.
+    pub sites: Vec<StaticSite>,
+    /// Dangerous-pair candidates derived from the sites.
+    pub pairs: Vec<StaticPair>,
+}
+
+/// Analyzes one file. `file` must be the analysis-root-relative path with
+/// forward slashes — it is embedded verbatim in site texts.
+pub fn analyze_file(file: &str, src: &str) -> FileAnalysis {
+    let toks = tokenize(src);
+    let evidence = concurrency_evidence(&toks);
+    let imports = collect_imports(&toks);
+    let use_ranges = use_statement_ranges(&toks);
+    let mut out = FileAnalysis::default();
+    if let Some(ev) = &evidence {
+        out.escapes = find_escapes(file, &toks, &imports, &use_ranges, ev);
+    }
+    let sites = find_sites(file, &toks, &imports);
+    out.pairs = derive_pairs(&sites.sites, &sites.regions);
+    out.sites = sites.sites.into_iter().map(|s| s.site).collect();
+    out
+}
+
+/// Why a file counts as concurrent, if it does.
+fn concurrency_evidence(toks: &[Token]) -> Option<String> {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "tsvd_tasks" => return Some("uses tsvd_tasks".to_string()),
+            "spawn" | "spawn_fast" | "parallel_for_each" | "parallel_invoke" | "scope"
+                if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+            {
+                return Some(format!("calls {}", t.text));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// One resolved `use` import: local name → full path segments.
+#[derive(Debug, Clone, PartialEq)]
+struct Import {
+    path: Vec<String>,
+}
+
+impl Import {
+    fn is_raw(&self) -> bool {
+        let p = &self.path;
+        (p.len() >= 2 && p[0] == "std" && p[1] == "collections")
+            || (p.len() >= 2
+                && p.iter().any(|s| s == "raw")
+                && matches!(
+                    p[0].as_str(),
+                    "tsvd_collections" | "crate" | "super" | "self"
+                ))
+    }
+
+    fn is_wrapper(&self) -> bool {
+        !self.is_raw()
+            && matches!(
+                self.path.first().map(String::as_str),
+                Some("tsvd_collections" | "crate" | "super" | "self")
+            )
+            && self
+                .path
+                .last()
+                .is_some_and(|leaf| tsvd_core::access::api_classes().contains(&leaf.as_str()))
+    }
+
+    /// The path without its leaf: the module the name came from.
+    fn module_path(&self) -> String {
+        self.path[..self.path.len().saturating_sub(1)].join("::")
+    }
+}
+
+/// Token index ranges (inclusive start, exclusive end) of `use` statements,
+/// so escape scanning can skip the imports themselves.
+fn use_statement_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("use") {
+            let start = i;
+            while i < toks.len() && !toks[i].is_punct(';') {
+                i += 1;
+            }
+            ranges.push((start, i + 1));
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Maps local names to their import paths, flattening `{a, b as c}` groups.
+fn collect_imports(toks: &[Token]) -> HashMap<String, Import> {
+    let mut map = HashMap::new();
+    for (start, end) in use_statement_ranges(toks) {
+        let body = &toks[start + 1..end.saturating_sub(1).max(start + 1)];
+        collect_use_tree(body, &mut 0, &mut Vec::new(), &mut map);
+    }
+    map
+}
+
+/// Recursive descent over one use-tree. `prefix` holds the segments before
+/// the current position.
+fn collect_use_tree(
+    toks: &[Token],
+    i: &mut usize,
+    prefix: &mut Vec<String>,
+    out: &mut HashMap<String, Import>,
+) {
+    let depth_at_entry = prefix.len();
+    let mut alias: Option<String> = None;
+    while *i < toks.len() {
+        let t = &toks[*i];
+        if t.kind == TokKind::Ident {
+            if t.text == "as" {
+                *i += 1;
+                if let Some(a) = toks.get(*i) {
+                    alias = Some(a.text.clone());
+                    *i += 1;
+                }
+                continue;
+            }
+            prefix.push(t.text.clone());
+            *i += 1;
+        } else if t.is_punct(':') {
+            *i += 1; // each `::` lexes as two `:` tokens
+        } else if t.is_punct('{') {
+            *i += 1;
+            collect_use_tree(toks, i, prefix, out);
+            // The group consumed the path; nothing is pending at this level.
+            prefix.truncate(depth_at_entry);
+        } else if t.is_punct(',') || t.is_punct('}') {
+            // End of one path in a group: register the leaf.
+            if prefix.len() > depth_at_entry || alias.is_some() {
+                register_leaf(prefix, alias.take(), out);
+                prefix.truncate(depth_at_entry);
+            }
+            let closing = t.is_punct('}');
+            *i += 1;
+            if closing {
+                return;
+            }
+        } else if t.is_punct('*') {
+            // Glob imports carry no leaf name; nothing to register.
+            prefix.truncate(depth_at_entry);
+            *i += 1;
+        } else {
+            *i += 1;
+        }
+    }
+    if prefix.len() > depth_at_entry || alias.is_some() {
+        register_leaf(prefix, alias.take(), out);
+        prefix.truncate(depth_at_entry);
+    }
+}
+
+fn register_leaf(path: &[String], alias: Option<String>, out: &mut HashMap<String, Import>) {
+    if path.is_empty() {
+        return;
+    }
+    let name = alias.unwrap_or_else(|| path.last().expect("non-empty").clone());
+    out.insert(
+        name,
+        Import {
+            path: path.to_vec(),
+        },
+    );
+}
+
+/// The escape lint: raw-collection call sites in a file with concurrency
+/// evidence. One escape per `(line, type name)`.
+fn find_escapes(
+    file: &str,
+    toks: &[Token],
+    imports: &HashMap<String, Import>,
+    use_ranges: &[(usize, usize)],
+    evidence: &str,
+) -> Vec<Escape> {
+    let in_use = |i: usize| use_ranges.iter().any(|&(s, e)| i >= s && i < e);
+    let mut escapes: Vec<Escape> = Vec::new();
+    let mut push = |t: &Token, name: &str, via: String| {
+        if escapes
+            .iter()
+            .any(|e: &Escape| e.line == t.line && e.name == name)
+        {
+            return;
+        }
+        escapes.push(Escape {
+            file: file.to_string(),
+            line: t.line,
+            name: name.to_string(),
+            via,
+            evidence: evidence.to_string(),
+            allowed: false,
+        });
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_use(i) {
+            continue;
+        }
+        // Fully qualified: std::collections::T or <...>::raw::T.
+        if RAW_TYPES.contains(&t.text.as_str()) {
+            if let Some(prefix) = qualified_prefix(toks, i) {
+                if prefix.ends_with(&["std".to_string(), "collections".to_string()][..]) {
+                    push(t, &t.text, "std::collections".to_string());
+                    continue;
+                }
+                if prefix.last().is_some_and(|s| s == "raw") {
+                    push(t, &t.text, "tsvd_collections::raw".to_string());
+                    continue;
+                }
+            }
+        }
+        // Imported raw name used as a constructor path: `HashMap::new()`.
+        let followed_by_path = toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|b| b.is_punct(':'));
+        if followed_by_path {
+            if let Some(imp) = imports.get(&t.text) {
+                if imp.is_raw() {
+                    push(t, &t.text, imp.module_path());
+                }
+            }
+        }
+    }
+    escapes
+}
+
+/// The `::`-separated ident segments immediately before token `i`, if any.
+fn qualified_prefix(toks: &[Token], i: usize) -> Option<Vec<String>> {
+    let mut segs = Vec::new();
+    let mut j = i;
+    while j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+        j -= 2;
+        if j == 0 || toks[j - 1].kind != TokKind::Ident {
+            break;
+        }
+        j -= 1;
+        segs.push(toks[j].text.clone());
+    }
+    if segs.is_empty() {
+        None
+    } else {
+        segs.reverse();
+        Some(segs)
+    }
+}
+
+/// A site plus the bookkeeping pair derivation needs.
+#[derive(Debug)]
+struct SiteCtx {
+    site: StaticSite,
+    region: u32,
+    tok_index: usize,
+    kind: OpKind,
+}
+
+/// A concurrency region: one spawn-call extent.
+#[derive(Debug)]
+struct Region {
+    /// Token index of the spawn call's opening paren.
+    start_tok: usize,
+    /// Whether the region body can run against itself.
+    multi: bool,
+}
+
+#[derive(Debug, Default)]
+struct SitePass {
+    sites: Vec<SiteCtx>,
+    /// Index 0 is the implicit top-level region.
+    regions: Vec<Region>,
+}
+
+/// What a tracked binding denotes.
+#[derive(Debug, Clone)]
+struct Binding {
+    class: &'static str,
+    /// The original binding an aliasing `.clone()` chain leads back to.
+    root: String,
+}
+
+fn find_sites(file: &str, toks: &[Token], imports: &HashMap<String, Import>) -> SitePass {
+    let file_has_task = toks.iter().any(|t| t.is_ident("Task"));
+    let mut pass = SitePass::default();
+    pass.regions.push(Region {
+        start_tok: 0,
+        multi: false,
+    });
+    let mut bindings: HashMap<String, Binding> = HashMap::new();
+    // Paren stack entries: Some(region id) for spawn extents, None otherwise.
+    let mut parens: Vec<Option<u32>> = Vec::new();
+    // Brace stack entries: true for loop bodies.
+    let mut braces: Vec<bool> = Vec::new();
+    let mut pending_loop = false;
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "fn" => bindings.clear(),
+                "for" | "while" | "loop" => {
+                    // `impl Trait for Type` also uses `for`; a loop keyword
+                    // in statement position follows a brace, semicolon, or
+                    // nothing.
+                    let stmt_pos = i == 0
+                        || matches!(&toks[i - 1], p if p.is_punct('{')
+                            || p.is_punct('}')
+                            || p.is_punct(';')
+                            || p.is_punct(')'));
+                    if stmt_pos {
+                        pending_loop = true;
+                    }
+                }
+                "let" => {
+                    if let Some((name, binding)) = parse_let(toks, i, imports, &bindings) {
+                        bindings.insert(name, binding);
+                    }
+                }
+                _ => {}
+            },
+            TokKind::Punct => match t.text.as_bytes().first() {
+                Some(b'(') => {
+                    // Instrumented call site: `recv . method (`.
+                    if i >= 3
+                        && toks[i - 1].kind == TokKind::Ident
+                        && toks[i - 2].is_punct('.')
+                        && toks[i - 3].kind == TokKind::Ident
+                    {
+                        if let Some(b) = bindings.get(&toks[i - 3].text) {
+                            let method = &toks[i - 1];
+                            let op = format!("{}.{}", b.class, method.text);
+                            if let Some(kind) = classify_op(&op) {
+                                let region = parens.iter().rev().find_map(|p| *p).unwrap_or(0);
+                                pass.sites.push(SiteCtx {
+                                    site: StaticSite {
+                                        file: file.to_string(),
+                                        line: method.line,
+                                        column: method.col,
+                                        receiver: b.root.clone(),
+                                        class: b.class.to_string(),
+                                        method: method.text.clone(),
+                                        kind: kind_str(kind).to_string(),
+                                        region,
+                                    },
+                                    region,
+                                    tok_index: i,
+                                    kind,
+                                });
+                            }
+                        }
+                    }
+                    // Spawn call: this paren extent is a new region.
+                    let spawn_ident = toks
+                        .get(i.wrapping_sub(1))
+                        .filter(|p| p.kind == TokKind::Ident)
+                        .map(|p| p.text.as_str());
+                    let is_spawn = match spawn_ident {
+                        Some(s) if SPAWN_CALLS.contains(&s) => true,
+                        Some("run" | "run_with_hook") => {
+                            file_has_task && i >= 2 && toks[i - 2].is_punct('.')
+                        }
+                        _ => false,
+                    };
+                    if is_spawn {
+                        let in_loop = braces.iter().any(|&l| l);
+                        let multi =
+                            in_loop || spawn_ident.is_some_and(|s| MULTI_SPAWN_CALLS.contains(&s));
+                        let id = pass.regions.len() as u32;
+                        pass.regions.push(Region {
+                            start_tok: i,
+                            multi,
+                        });
+                        parens.push(Some(id));
+                    } else {
+                        parens.push(None);
+                    }
+                }
+                Some(b')') => {
+                    parens.pop();
+                }
+                Some(b'{') => {
+                    braces.push(std::mem::take(&mut pending_loop));
+                }
+                Some(b'}') => {
+                    braces.pop();
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    pass
+}
+
+/// Recognizes `let [mut] NAME = <path>::{new,unmonitored,with_*,from,default}(`
+/// for a wrapper class, and the aliasing form `let NAME = SRC.clone()`.
+fn parse_let(
+    toks: &[Token],
+    let_idx: usize,
+    imports: &HashMap<String, Import>,
+    bindings: &HashMap<String, Binding>,
+) -> Option<(String, Binding)> {
+    let mut i = let_idx + 1;
+    if toks.get(i)?.is_ident("mut") {
+        i += 1;
+    }
+    let name = toks.get(i)?;
+    if name.kind != TokKind::Ident {
+        return None;
+    }
+    i += 1;
+    // Skip an optional `: Type<...>` ascription up to `=`, bailing at `;`.
+    while i < toks.len() && !toks[i].is_punct('=') {
+        if toks[i].is_punct(';') {
+            return None;
+        }
+        i += 1;
+    }
+    i += 1; // past `=`
+            // Aliasing clone: `SRC.clone()`.
+    if toks.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+        && toks.get(i + 2).is_some_and(|t| t.is_ident("clone"))
+    {
+        let src = bindings.get(&toks[i].text)?;
+        return Some((name.text.clone(), src.clone()));
+    }
+    // Constructor path: collect `A::B::C` segments up to `(` or `<`.
+    let mut segs: Vec<&str> = Vec::new();
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            segs.push(&t.text);
+            i += 1;
+        } else if t.is_punct(':') {
+            i += 1;
+        } else if t.is_punct('<') {
+            // Skip a turbofish / generic argument list.
+            let mut depth = 1;
+            i += 1;
+            while i < toks.len() && depth > 0 {
+                if toks[i].is_punct('<') {
+                    depth += 1;
+                } else if toks[i].is_punct('>') {
+                    depth -= 1;
+                }
+                i += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    // The path must end in a constructor-ish name preceded by a class.
+    let ctor = segs.pop()?;
+    let is_ctor =
+        matches!(ctor, "new" | "unmonitored" | "from" | "default") || ctor.starts_with("with_");
+    if !is_ctor {
+        return None;
+    }
+    let class_seg = segs.last()?;
+    let class = tsvd_core::access::api_classes()
+        .into_iter()
+        .find(|c| c == class_seg)?;
+    // Qualified paths carry their own provenance; bare class names lean on
+    // imports. `HashSet` is the one name std shares, so a bare `HashSet`
+    // with no import evidence stays unclassified rather than guessed.
+    let provenance_ok = if segs.len() > 1 {
+        matches!(segs[0], "tsvd_collections" | "crate" | "super" | "self")
+    } else if class == "HashSet" {
+        imports.get(class).is_some_and(|imp| imp.is_wrapper())
+    } else {
+        imports.get(class).is_none_or(|imp| imp.is_wrapper())
+    };
+    if !provenance_ok {
+        return None;
+    }
+    Some((
+        name.text.clone(),
+        Binding {
+            class,
+            root: name.text.clone(),
+        },
+    ))
+}
+
+fn kind_str(kind: OpKind) -> &'static str {
+    match kind {
+        OpKind::Read => "read",
+        OpKind::Write => "write",
+    }
+}
+
+/// Derives dangerous-pair candidates from the sites of one file.
+///
+/// Two sites on the same root receiver conflict when at least one writes
+/// and the regions can overlap in time:
+///
+/// - two *different* spawned regions always can;
+/// - one *multi-instance* region can overlap itself (including a single
+///   write site racing with its own other instances);
+/// - the top level can overlap any region whose spawn started lexically
+///   earlier (the spawn has happened; the join may not have).
+fn derive_pairs(sites: &[SiteCtx], regions: &[Region]) -> Vec<StaticPair> {
+    let mut pairs: Vec<StaticPair> = Vec::new();
+    let mut seen: Vec<(String, String)> = Vec::new();
+    for (ai, a) in sites.iter().enumerate() {
+        for b in &sites[ai..] {
+            if a.site.receiver != b.site.receiver || a.site.class != b.site.class {
+                continue;
+            }
+            if a.kind != OpKind::Write && b.kind != OpKind::Write {
+                continue;
+            }
+            let (ra, rb) = (a.region as usize, b.region as usize);
+            let reason = if ra != 0 && rb != 0 && ra != rb {
+                "cross-task"
+            } else if ra == rb && ra != 0 && regions[ra].multi {
+                "multi-instance-task"
+            } else if (ra == 0 && rb != 0 && regions[rb].start_tok < a.tok_index)
+                || (rb == 0 && ra != 0 && regions[ra].start_tok < b.tok_index)
+            {
+                "main-vs-spawned"
+            } else {
+                continue;
+            };
+            // Self-pairs only make sense when one site races its own clones.
+            if std::ptr::eq(a, b) && !(ra != 0 && regions[ra].multi && a.kind == OpKind::Write) {
+                continue;
+            }
+            let (first, second) = (
+                site_text(&a.site.file, a.site.line, a.site.column),
+                site_text(&b.site.file, b.site.line, b.site.column),
+            );
+            let key = if first <= second {
+                (first.clone(), second.clone())
+            } else {
+                (second.clone(), first.clone())
+            };
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            pairs.push(StaticPair {
+                first,
+                second,
+                receiver: a.site.receiver.clone(),
+                class: a.site.class.clone(),
+                first_op: format!("{}.{}", a.site.class, a.site.method),
+                second_op: format!("{}.{}", b.site.class, b.site.method),
+                reason: reason.to_string(),
+            });
+        }
+    }
+    pairs
+}
+
+/// Extracts the `(op name, kind)` literals from wrapper source: every
+/// `.write(site, "Class.op", ...)` / `.read(site, "Class.op", ...)` call.
+/// The wrapper-audit test uses this to prove the shipped wrappers and the
+/// shared API table agree exactly.
+pub fn instrumented_op_literals(src: &str) -> Vec<(String, OpKind)> {
+    let toks = tokenize(src);
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || (t.text != "write" && t.text != "read") {
+            continue;
+        }
+        if i == 0 || !toks[i - 1].is_punct('.') {
+            continue;
+        }
+        let (Some(open), Some(site_arg), Some(comma), Some(op)) = (
+            toks.get(i + 1),
+            toks.get(i + 2),
+            toks.get(i + 3),
+            toks.get(i + 4),
+        ) else {
+            continue;
+        };
+        if open.is_punct('(')
+            && site_arg.is_ident("site")
+            && comma.is_punct(',')
+            && op.kind == TokKind::Str
+        {
+            let kind = if t.text == "write" {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            };
+            out.push((op.text.clone(), kind));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_flagged_with_concurrency_evidence() {
+        let src = r#"
+use std::collections::HashMap;
+use tsvd_tasks::Pool;
+fn f(pool: &Pool) {
+    let m = HashMap::new();
+    pool.spawn(move || drop(m));
+}
+"#;
+        let fa = analyze_file("x.rs", src);
+        assert_eq!(fa.escapes.len(), 1);
+        assert_eq!(fa.escapes[0].name, "HashMap");
+        assert_eq!(fa.escapes[0].via, "std::collections");
+        assert_eq!(fa.escapes[0].line, 5);
+    }
+
+    #[test]
+    fn no_escape_without_concurrency_evidence() {
+        let src = "use std::collections::HashMap;\nfn f() { let m = HashMap::new(); }\n";
+        let fa = analyze_file("x.rs", src);
+        assert!(fa.escapes.is_empty());
+    }
+
+    #[test]
+    fn fully_qualified_raw_is_flagged_once_per_line() {
+        let src = "fn f() { let a = std::collections::HashSet::<u32>::new(); spawn(|| ()); }";
+        let fa = analyze_file("x.rs", src);
+        assert_eq!(fa.escapes.len(), 1);
+        assert_eq!(fa.escapes[0].via, "std::collections");
+    }
+
+    #[test]
+    fn use_statement_itself_is_not_an_escape() {
+        let src = "use std::collections::HashMap;\nfn f() { spawn(|| ()); }\n";
+        let fa = analyze_file("x.rs", src);
+        assert!(
+            fa.escapes.is_empty(),
+            "import line alone is not a call site"
+        );
+    }
+
+    #[test]
+    fn wrapper_hashset_is_not_confused_with_std() {
+        let src = r#"
+use tsvd_collections::HashSet;
+fn f() {
+    let s = HashSet::new();
+    spawn(move || s.add(1));
+}
+"#;
+        let fa = analyze_file("x.rs", src);
+        assert!(fa.escapes.is_empty(), "wrapper HashSet is instrumented");
+        assert_eq!(fa.sites.len(), 1);
+        assert_eq!(fa.sites[0].class, "HashSet");
+    }
+
+    #[test]
+    fn sites_use_method_ident_column() {
+        let src = "use tsvd_collections::Dictionary;\nfn f() {\n    let d = Dictionary::new();\n    d.set(1, 2);\n}\n";
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 1);
+        let s = &fa.sites[0];
+        assert_eq!((s.line, s.column), (4, 7), "column of `set`, not `d`");
+        assert_eq!(s.kind, "write");
+        assert_eq!(s.receiver, "d");
+    }
+
+    #[test]
+    fn clone_aliases_to_root_receiver() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn f() {
+    let d = Dictionary::new();
+    let d2 = d.clone();
+    d2.set(1, 2);
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 1);
+        assert_eq!(fa.sites[0].receiver, "d", "clone resolves to its root");
+    }
+
+    #[test]
+    fn cross_task_write_write_pair() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+use tsvd_tasks::Pool;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let d1 = d.clone();
+    let d2 = d.clone();
+    pool.spawn(move || d1.set(1, 1));
+    pool.spawn(move || d2.set(2, 2));
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 2);
+        assert_eq!(fa.pairs.len(), 1);
+        assert_eq!(fa.pairs[0].reason, "cross-task");
+        assert_eq!(fa.pairs[0].first_op, "Dictionary.set");
+    }
+
+    #[test]
+    fn read_read_is_not_a_pair() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let d1 = d.clone();
+    let d2 = d.clone();
+    pool.spawn(move || d1.get(&1));
+    pool.spawn(move || d2.get(&2));
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 2);
+        assert!(fa.pairs.is_empty());
+    }
+
+    #[test]
+    fn parallel_for_each_write_races_itself() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+use tsvd_tasks::parallel_for_each;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let d1 = d.clone();
+    parallel_for_each(pool, 0..10, move |n| { d1.set(n, n); });
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 1);
+        assert_eq!(fa.pairs.len(), 1);
+        assert_eq!(fa.pairs[0].reason, "multi-instance-task");
+        assert_eq!(fa.pairs[0].first, fa.pairs[0].second);
+    }
+
+    #[test]
+    fn single_task_does_not_race_itself() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let d1 = d.clone();
+    pool.spawn(move || { d1.set(1, 1); d1.set(2, 2); });
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 2);
+        assert!(fa.pairs.is_empty(), "one task instance is sequential");
+    }
+
+    #[test]
+    fn spawn_in_loop_is_multi_instance() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    for i in 0..4 {
+        let di = d.clone();
+        pool.spawn(move || di.set(i, i));
+    }
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.pairs.len(), 1);
+        assert_eq!(fa.pairs[0].reason, "multi-instance-task");
+    }
+
+    #[test]
+    fn main_thread_access_after_spawn_pairs() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let d1 = d.clone();
+    pool.spawn(move || d1.set(1, 1));
+    d.set(2, 2);
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 2);
+        assert_eq!(fa.pairs.len(), 1);
+        assert_eq!(fa.pairs[0].reason, "main-vs-spawned");
+    }
+
+    #[test]
+    fn main_thread_access_before_spawn_does_not_pair() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    d.set(2, 2);
+    let d1 = d.clone();
+    pool.spawn(move || d1.set(1, 1));
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(
+            fa.sites.len(),
+            2,
+            "pre-spawn write happens-before the spawn"
+        );
+        assert!(fa.pairs.is_empty());
+    }
+
+    #[test]
+    fn different_receivers_do_not_pair() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn f(pool: &Pool) {
+    let a = Dictionary::new();
+    let b = Dictionary::new();
+    let a1 = a.clone();
+    let b1 = b.clone();
+    pool.spawn(move || a1.set(1, 1));
+    pool.spawn(move || b1.set(2, 2));
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 2);
+        assert!(fa.pairs.is_empty());
+    }
+
+    #[test]
+    fn bindings_reset_between_functions() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn f() { let d = Dictionary::new(); }
+fn g() { d.set(1, 2); }
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert!(fa.sites.is_empty(), "d is out of scope in g");
+    }
+
+    #[test]
+    fn impl_for_is_not_a_loop() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+trait T {}
+struct S;
+impl T for S {}
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let d1 = d.clone();
+    pool.spawn(move || d1.set(1, 1));
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert!(fa.pairs.is_empty(), "impl-for must not mark multi-instance");
+    }
+
+    #[test]
+    fn op_literal_extraction() {
+        let src = r#"
+impl D {
+    pub fn add(&self) {
+        let site = tsvd_core::site!();
+        self.inner.write(site, "Dictionary.add", |m| m.insert(1))
+    }
+    pub fn len(&self) -> usize {
+        let site = tsvd_core::site!();
+        self.inner.read(site, "Dictionary.len", |m| m.len())
+    }
+}
+"#;
+        let lits = instrumented_op_literals(src);
+        assert_eq!(
+            lits,
+            vec![
+                ("Dictionary.add".to_string(), OpKind::Write),
+                ("Dictionary.len".to_string(), OpKind::Read),
+            ]
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The build environment is offline, so there is no `syn`/`proc-macro2`;
+//! a full parser is also more weight than the analyses need. The scanner
+//! produces a flat token stream with 1-based line/column positions that
+//! match what `#[track_caller]` records at run time (for ASCII source,
+//! rustc's column is the 1-based character offset), which is what lets the
+//! static site database line up with dynamic [`tsvd_core::SiteId`]s.
+//!
+//! Handled: line and nested block comments, plain / raw / byte string
+//! literals, char literals vs. lifetimes, identifiers, numbers, and
+//! single-character punctuation. Not handled (not needed): float tokens
+//! (`1.5` lexes as two numbers and a dot) and multi-character operators
+//! (`::` is two `:` tokens).
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (the char is in [`Token::text`]).
+    Punct,
+    /// String literal (text is the raw content, quotes stripped).
+    Str,
+    /// Char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Number literal (integer part only; no dots consumed).
+    Num,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Identifier text, punctuation char, or literal content.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based character column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// Returns `true` for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Returns `true` for this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: malformed input degrades
+/// to punctuation tokens rather than aborting the analysis of a file.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        match c {
+            c if c.is_whitespace() => bump!(),
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '*' => {
+                bump!();
+                bump!();
+                let mut depth = 1u32;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                        depth += 1;
+                        bump!();
+                        bump!();
+                    } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                        depth -= 1;
+                        bump!();
+                        bump!();
+                    } else {
+                        bump!();
+                    }
+                }
+            }
+            '"' => {
+                bump!();
+                let mut text = String::new();
+                while i < chars.len() && chars[i] != '"' {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                    text.push(chars[i]);
+                    bump!();
+                }
+                if i < chars.len() {
+                    bump!(); // closing quote
+                }
+                toks.push(Token {
+                    kind: TokKind::Str,
+                    text,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            'r' | 'b' if is_raw_string_start(&chars, i) => {
+                // r"..", r#"..."#, br".." etc.
+                while i < chars.len() && (chars[i] == 'r' || chars[i] == 'b') {
+                    bump!();
+                }
+                let mut hashes = 0usize;
+                while i < chars.len() && chars[i] == '#' {
+                    hashes += 1;
+                    bump!();
+                }
+                if i < chars.len() && chars[i] == '"' {
+                    bump!();
+                    let mut text = String::new();
+                    'raw: while i < chars.len() {
+                        if chars[i] == '"' {
+                            // Need `hashes` trailing #s to close.
+                            let mut ok = true;
+                            for k in 0..hashes {
+                                if chars.get(i + 1 + k) != Some(&'#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                bump!();
+                                for _ in 0..hashes {
+                                    bump!();
+                                }
+                                break 'raw;
+                            }
+                        }
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Str,
+                        text,
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let is_lifetime = i + 1 < chars.len()
+                    && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+                    && {
+                        // Scan past the ident run; a closing quote means char.
+                        let mut j = i + 1;
+                        while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                            j += 1;
+                        }
+                        chars.get(j) != Some(&'\'')
+                    };
+                if is_lifetime {
+                    bump!();
+                    let mut text = String::new();
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line: tline,
+                        col: tcol,
+                    });
+                } else {
+                    bump!();
+                    let mut text = String::new();
+                    while i < chars.len() && chars[i] != '\'' {
+                        if chars[i] == '\\' && i + 1 < chars.len() {
+                            text.push(chars[i]);
+                            bump!();
+                        }
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                    if i < chars.len() {
+                        bump!();
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Char,
+                        text,
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                toks.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                toks.push(Token {
+                    kind: TokKind::Num,
+                    text,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c => {
+                bump!();
+                toks.push(Token {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// Does a raw/byte string literal start at `i`? (`r"`, `r#`, `br"`, `b"`.)
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+        return chars.get(j) == Some(&'"');
+    }
+    // `b"..."` byte string (no r).
+    chars[i] == 'b' && chars.get(i + 1) == Some(&'"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn positions_are_one_based_chars() {
+        let toks = tokenize("let d = x.add(1);");
+        let add = toks.iter().find(|t| t.is_ident("add")).expect("add");
+        assert_eq!(add.line, 1);
+        assert_eq!(add.col, 11, "column of the method ident");
+    }
+
+    #[test]
+    fn multiline_positions() {
+        let toks = tokenize("fn f() {\n    d.set(1, 2);\n}\n");
+        let set = toks.iter().find(|t| t.is_ident("set")).expect("set");
+        assert_eq!(set.line, 2);
+        assert_eq!(set.col, 7);
+    }
+
+    #[test]
+    fn comments_are_skipped_including_nested() {
+        let src = "a // line d.add(1)\nb /* block /* nested */ still */ c";
+        assert_eq!(idents(src), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        let src = r#"before "d.add(1) // not code \" quote" after"#;
+        assert_eq!(idents(src), vec!["before", "after"]);
+        let s = tokenize(src)
+            .into_iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("string");
+        assert!(s.text.contains("not code"));
+    }
+
+    #[test]
+    fn raw_strings_are_single_tokens() {
+        let src = "x r#\"inner \"quoted\" text\"# y";
+        assert_eq!(idents(src), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn op_name_string_content_is_captured() {
+        let toks = tokenize(r#"self.inner.write(site, "Dictionary.add", |m| m)"#);
+        let s = toks
+            .into_iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("op name literal");
+        assert_eq!(s.text, "Dictionary.add");
+    }
+}

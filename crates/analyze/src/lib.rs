@@ -1,0 +1,109 @@
+//! `tsvd-analyze`: static instrumentation auditor and dangerous-pair
+//! pre-filter for the TSVD dynamic detector.
+//!
+//! The paper's pipeline starts with a static pass: a binary rewriter walks
+//! every call site, identifies calls into thread-unsafe APIs, and rewrites
+//! them to route through `OnCall` (§3.1). This crate is that front end for
+//! the Rust reproduction, with three outputs:
+//!
+//! 1. **Instrumentation-coverage lint** ("escapes"): call sites that use
+//!    raw `std::collections` / `tsvd_collections::raw` types from code with
+//!    concurrency evidence. Such calls never reach [`Runtime::on_call`], so
+//!    the dynamic detector is blind to them — exactly the coverage gap the
+//!    paper's rewriter exists to close. Intentional raw usage is recorded
+//!    in an allowlist file (see [`allowlist`]).
+//! 2. **Static site database**: every instrumented-collection call site as
+//!    `(file, line, column, receiver, method, read/write)`, classified by
+//!    the *same* API table the wrappers consult at run time
+//!    ([`tsvd_core::access::API_TABLE`]), with columns matching what
+//!    `#[track_caller]` records so static and dynamic sites intern to the
+//!    same [`tsvd_core::SiteId`]s.
+//! 3. **Dangerous-pair candidates**: conflicting accesses to one shared
+//!    receiver reachable from different tasks, emitted in trap-file format
+//!    with [`tsvd_core::PairOrigin::Static`] so the runtime can arm traps
+//!    before the *first* dynamic run — the static analogue of §3.4.6's
+//!    cross-run trap persistence, removing the warm-up run entirely for
+//!    pairs the analyzer predicts.
+//!
+//! [`Runtime::on_call`]: tsvd_core::Runtime::on_call
+
+#![warn(missing_docs)]
+
+pub mod allowlist;
+pub mod analysis;
+pub mod lexer;
+pub mod report;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use allowlist::{AllowEntry, Allowlist};
+pub use analysis::{analyze_file, instrumented_op_literals, FileAnalysis};
+pub use report::{AnalysisReport, Escape, StaticPair, StaticSite};
+
+/// Analyzes every `.rs` file under `root` (skipping `target/`, `vendor/`,
+/// and dot-directories). Paths in the report are `root`-relative with
+/// forward slashes.
+pub fn analyze_workspace(root: &Path) -> io::Result<AnalysisReport> {
+    let files = walk::rust_files(root)?;
+    let rels: Vec<String> = files.iter().map(|f| walk::to_forward_slashes(f)).collect();
+    analyze_paths(root, &rels)
+}
+
+/// Analyzes an explicit list of `root`-relative files. Unreadable files
+/// are skipped rather than failing the whole run — one unparseable path
+/// must not hide every other finding.
+pub fn analyze_paths(root: &Path, files: &[String]) -> io::Result<AnalysisReport> {
+    let mut report = AnalysisReport::default();
+    for rel in files {
+        let Ok(src) = std::fs::read_to_string(root.join(rel)) else {
+            continue;
+        };
+        report.files_scanned += 1;
+        let fa = analysis::analyze_file(rel, &src);
+        report.escapes.extend(fa.escapes);
+        report.sites.extend(fa.sites);
+        report.pairs.extend(fa.pairs);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_analysis_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("tsvd_analyze_ws_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("src")).expect("mkdir");
+        std::fs::write(
+            dir.join("src/main.rs"),
+            r#"
+use std::collections::HashMap;
+use tsvd_collections::Dictionary;
+use tsvd_tasks::Pool;
+fn main() {
+    let raw = HashMap::new();
+    let d = Dictionary::new();
+    let d1 = d.clone();
+    let d2 = d.clone();
+    let pool = Pool::new(2);
+    pool.spawn(move || d1.set(1, 1));
+    pool.spawn(move || d2.set(2, 2));
+    drop(raw);
+}
+"#,
+        )
+        .expect("write");
+        let report = analyze_workspace(&dir).expect("analyze");
+        assert_eq!(report.files_scanned, 1);
+        assert_eq!(report.escapes.len(), 1);
+        assert_eq!(report.escapes[0].file, "src/main.rs");
+        assert_eq!(report.sites.len(), 2);
+        assert_eq!(report.pairs.len(), 1);
+        let tf = report.to_trap_file();
+        assert_eq!(tf.count_origin(tsvd_core::PairOrigin::Static), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

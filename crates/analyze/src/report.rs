@@ -1,0 +1,293 @@
+//! Report types: what `tsvd-analyze` hands to humans, CI, and the runtime.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize, Value};
+use tsvd_core::{PairOrigin, TrapFileData};
+
+use crate::allowlist::Allowlist;
+
+/// Renders a site in the `file:line:column` shape [`tsvd_core::SiteId`]
+/// parses, so static sites intern to the same ids dynamic runs produce.
+pub fn site_text(file: &str, line: u32, column: u32) -> String {
+    format!("{file}:{line}:{column}")
+}
+
+/// A raw-collection call site in concurrent code: instrumentation the
+/// dynamic detector will never see.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Escape {
+    /// Analysis-root-relative path.
+    pub file: String,
+    /// 1-based line of the raw usage.
+    pub line: u32,
+    /// The raw type (e.g. `HashMap`).
+    pub name: String,
+    /// Provenance that marked it raw (e.g. `std::collections`).
+    pub via: String,
+    /// Why the file counts as concurrent.
+    pub evidence: String,
+    /// Whether an allowlist entry covers it.
+    #[serde(default)]
+    pub allowed: bool,
+}
+
+/// One instrumented-collection call site, classified by the same API table
+/// the wrappers use at run time.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticSite {
+    /// Analysis-root-relative path.
+    pub file: String,
+    /// 1-based line of the **method ident** (what `#[track_caller]` records).
+    pub line: u32,
+    /// 1-based column of the method ident.
+    pub column: u32,
+    /// Root receiver binding (clones resolved to their origin).
+    pub receiver: String,
+    /// Wrapper class (e.g. `Dictionary`).
+    pub class: String,
+    /// Method name (e.g. `set`).
+    pub method: String,
+    /// `"read"` or `"write"` per the shared API table.
+    pub kind: String,
+    /// Concurrency region id within the file; 0 is the top level.
+    pub region: u32,
+}
+
+impl StaticSite {
+    /// The `file:line:column` text for this site.
+    pub fn site_text(&self) -> String {
+        site_text(&self.file, self.line, self.column)
+    }
+}
+
+/// A statically predicted dangerous pair, in trap-file site syntax.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticPair {
+    /// First site (`file:line:column`).
+    pub first: String,
+    /// Second site; equal to `first` for a self-racing multi-instance site.
+    pub second: String,
+    /// Shared root receiver.
+    pub receiver: String,
+    /// Wrapper class.
+    pub class: String,
+    /// Qualified op at the first site (e.g. `Dictionary.set`).
+    pub first_op: String,
+    /// Qualified op at the second site.
+    pub second_op: String,
+    /// Why the pair can overlap: `cross-task`, `multi-instance-task`, or
+    /// `main-vs-spawned`.
+    pub reason: String,
+}
+
+/// The full analyzer output for one tree.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// How many `.rs` files were scanned.
+    pub files_scanned: u32,
+    /// Escape-lint findings (allowlisted ones included, flagged).
+    pub escapes: Vec<Escape>,
+    /// The static site database.
+    pub sites: Vec<StaticSite>,
+    /// Dangerous-pair candidates.
+    pub pairs: Vec<StaticPair>,
+}
+
+impl AnalysisReport {
+    /// Marks escapes covered by `allowlist`.
+    pub fn apply_allowlist(&mut self, allowlist: &Allowlist) {
+        for e in &mut self.escapes {
+            e.allowed = allowlist.allows(&e.file, e.line, &e.name);
+        }
+    }
+
+    /// Escapes no allowlist entry covers — the CI-blocking set.
+    pub fn unallowlisted_escapes(&self) -> Vec<&Escape> {
+        self.escapes.iter().filter(|e| !e.allowed).collect()
+    }
+
+    /// Converts the pair candidates into a statically-tagged trap file the
+    /// runtime can import before the first dynamic run.
+    pub fn to_trap_file(&self) -> TrapFileData {
+        let mut data = TrapFileData::default();
+        for p in &self.pairs {
+            let pair = (p.first.clone(), p.second.clone());
+            if !data.pairs.contains(&pair) {
+                data.push(pair, PairOrigin::Static);
+            }
+        }
+        data
+    }
+
+    /// One JSON object per line: a `summary` record, then every escape,
+    /// site, and pair, each tagged with a `record` field.
+    pub fn to_jsonl(&self) -> String {
+        let mut lines =
+            Vec::with_capacity(1 + self.escapes.len() + self.sites.len() + self.pairs.len());
+        let mut summary = BTreeMap::new();
+        summary.insert("record".to_string(), Value::Str("summary".to_string()));
+        summary.insert("files_scanned".to_string(), self.files_scanned.to_value());
+        summary.insert(
+            "escapes".to_string(),
+            Value::UInt(self.escapes.len() as u64),
+        );
+        summary.insert("sites".to_string(), Value::UInt(self.sites.len() as u64));
+        summary.insert("pairs".to_string(), Value::UInt(self.pairs.len() as u64));
+        lines.push(Value::Object(summary));
+        for e in &self.escapes {
+            lines.push(tag("escape", e.to_value()));
+        }
+        for s in &self.sites {
+            lines.push(tag("site", s.to_value()));
+        }
+        for p in &self.pairs {
+            lines.push(tag("pair", p.to_value()));
+        }
+        let mut out = String::new();
+        for v in lines {
+            out.push_str(&serde_json::to_string(&v).unwrap_or_default());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The human-facing rendering printed by `repro analyze`.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        let blocked = self.unallowlisted_escapes();
+        out.push_str(&format!(
+            "tsvd-analyze: {} files, {} instrumented sites, {} pair candidates, {} escapes ({} blocking)\n",
+            self.files_scanned,
+            self.sites.len(),
+            self.pairs.len(),
+            self.escapes.len(),
+            blocked.len(),
+        ));
+        for e in &self.escapes {
+            out.push_str(&format!(
+                "  {}{}:{}: raw `{}` via {} ({})\n",
+                if e.allowed { "[allowed] " } else { "escape: " },
+                e.file,
+                e.line,
+                e.name,
+                e.via,
+                e.evidence,
+            ));
+        }
+        for p in &self.pairs {
+            out.push_str(&format!(
+                "  pair: {} <-> {} on `{}` [{} / {}] ({})\n",
+                p.first, p.second, p.receiver, p.first_op, p.second_op, p.reason,
+            ));
+        }
+        out
+    }
+}
+
+/// Wraps a serialized record with its `record` tag.
+fn tag(kind: &str, value: Value) -> Value {
+    let mut map = match value {
+        Value::Object(m) => m,
+        other => {
+            let mut m = BTreeMap::new();
+            m.insert("value".to_string(), other);
+            m
+        }
+    };
+    map.insert("record".to_string(), Value::Str(kind.to_string()));
+    Value::Object(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AnalysisReport {
+        AnalysisReport {
+            files_scanned: 2,
+            escapes: vec![Escape {
+                file: "a.rs".into(),
+                line: 3,
+                name: "HashMap".into(),
+                via: "std::collections".into(),
+                evidence: "calls spawn".into(),
+                allowed: false,
+            }],
+            sites: vec![StaticSite {
+                file: "a.rs".into(),
+                line: 5,
+                column: 7,
+                receiver: "d".into(),
+                class: "Dictionary".into(),
+                method: "set".into(),
+                kind: "write".into(),
+                region: 1,
+            }],
+            pairs: vec![StaticPair {
+                first: "a.rs:5:7".into(),
+                second: "a.rs:6:7".into(),
+                receiver: "d".into(),
+                class: "Dictionary".into(),
+                first_op: "Dictionary.set".into(),
+                second_op: "Dictionary.set".into(),
+                reason: "cross-task".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn allowlist_marks_and_filters() {
+        let mut r = sample();
+        assert_eq!(r.unallowlisted_escapes().len(), 1);
+        r.apply_allowlist(&Allowlist::parse(
+            "[[allow]]\npath = \"a.rs\"\nreason = \"test\"\n",
+        ));
+        assert!(r.escapes[0].allowed);
+        assert!(r.unallowlisted_escapes().is_empty());
+    }
+
+    #[test]
+    fn trap_file_is_statically_tagged() {
+        let tf = sample().to_trap_file();
+        assert_eq!(tf.pairs.len(), 1);
+        assert_eq!(tf.origin(0), PairOrigin::Static);
+        assert_eq!(tf.count_origin(PairOrigin::Static), 1);
+        // The textual sites must re-intern.
+        assert_eq!(tf.to_pairs().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_has_one_tagged_record_per_line() {
+        let jsonl = sample().to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(
+            lines[0].contains("\"record\": \"summary\"")
+                || lines[0].contains("\"record\":\"summary\"")
+        );
+        for line in &lines {
+            assert!(
+                serde_json::from_str::<Value>(line).is_ok(),
+                "bad JSON: {line}"
+            );
+        }
+        assert!(jsonl.contains("escape"));
+        assert!(jsonl.contains("pair"));
+    }
+
+    #[test]
+    fn human_rendering_mentions_everything() {
+        let text = sample().render_human();
+        assert!(text.contains("escape: a.rs:3"));
+        assert!(text.contains("a.rs:5:7 <-> a.rs:6:7"));
+        assert!(text.contains("2 files"));
+    }
+
+    #[test]
+    fn site_text_matches_site_id_syntax() {
+        let s = sample().sites[0].site_text();
+        assert_eq!(s, "a.rs:5:7");
+        assert!(tsvd_core::SiteId::parse(&s).is_some());
+    }
+}

@@ -1,0 +1,87 @@
+//! Workspace traversal: find the `.rs` files worth analyzing.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "node_modules"];
+
+/// Recursively collects `.rs` files under `root`, skipping build output,
+/// vendored code, and VCS internals. Paths come back **relative to `root`**
+/// with forward slashes — the same shape `#[track_caller]` records (cargo
+/// compiles from the workspace root), so analyzer output joins against
+/// dynamic site ids without normalization. The list is sorted for
+/// deterministic reports.
+pub fn rust_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let file_type = entry.file_type()?;
+        if file_type.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if file_type.is_file() && name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            out.push(PathBuf::from(to_forward_slashes(rel)));
+        }
+    }
+    Ok(())
+}
+
+/// Renders a path with `/` separators regardless of platform.
+pub fn to_forward_slashes(path: &Path) -> String {
+    let mut s = String::new();
+    for comp in path.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_rust_files_and_skips_target() {
+        let dir = std::env::temp_dir().join(format!("tsvd_walk_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("src")).expect("mkdir src");
+        std::fs::create_dir_all(dir.join("target/debug")).expect("mkdir target");
+        std::fs::create_dir_all(dir.join("vendor/dep")).expect("mkdir vendor");
+        std::fs::write(dir.join("src/lib.rs"), "pub fn f() {}").expect("write");
+        std::fs::write(dir.join("src/notes.txt"), "not rust").expect("write");
+        std::fs::write(dir.join("target/debug/gen.rs"), "fn g() {}").expect("write");
+        std::fs::write(dir.join("vendor/dep/lib.rs"), "fn v() {}").expect("write");
+        let files = rust_files(&dir).expect("walk");
+        assert_eq!(files, vec![PathBuf::from("src/lib.rs")]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paths_are_sorted_and_relative() {
+        let dir = std::env::temp_dir().join(format!("tsvd_walk_sort_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("b")).expect("mkdir");
+        std::fs::create_dir_all(dir.join("a")).expect("mkdir");
+        std::fs::write(dir.join("b/two.rs"), "").expect("write");
+        std::fs::write(dir.join("a/one.rs"), "").expect("write");
+        let files = rust_files(&dir).expect("walk");
+        assert_eq!(
+            files,
+            vec![PathBuf::from("a/one.rs"), PathBuf::from("b/two.rs")]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

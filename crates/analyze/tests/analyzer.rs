@@ -1,0 +1,116 @@
+//! End-to-end analyzer tests against the checked-in fixture tree.
+//!
+//! The counts below are exact on purpose: the fixtures are frozen inputs,
+//! and any analyzer change that shifts what is found must update both
+//! sides consciously.
+
+use std::path::{Path, PathBuf};
+
+use tsvd_analyze::{analyze_workspace, Allowlist};
+use tsvd_core::PairOrigin;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn fixture_counts_are_exact() {
+    let report = analyze_workspace(&fixtures_root()).expect("analyze fixtures");
+    assert_eq!(report.files_scanned, 3);
+
+    // Two raw escapes: the std HashMap and the allowlisted VecDeque.
+    assert_eq!(report.escapes.len(), 2);
+    let hashmap = report
+        .escapes
+        .iter()
+        .find(|e| e.name == "HashMap")
+        .expect("HashMap escape");
+    assert_eq!(hashmap.file, "escape_raw.rs");
+    assert_eq!(hashmap.line, 6);
+    assert_eq!(hashmap.via, "std::collections");
+    let vecdeque = report
+        .escapes
+        .iter()
+        .find(|e| e.name == "VecDeque")
+        .expect("VecDeque escape");
+    assert_eq!(vecdeque.file, "allowlisted_raw.rs");
+    assert_eq!(vecdeque.line, 6);
+
+    // Four instrumented sites, all in shared_map.rs, columns on the
+    // method ident (the #[track_caller] convention).
+    assert_eq!(report.sites.len(), 4);
+    let site_texts: Vec<String> = report.sites.iter().map(|s| s.site_text()).collect();
+    assert_eq!(
+        site_texts,
+        vec![
+            "shared_map.rs:9:26",  // a.set
+            "shared_map.rs:11:11", // b.set
+            "shared_map.rs:12:11", // b.get
+            "shared_map.rs:14:12", // shared.len
+        ]
+    );
+    assert!(report.sites.iter().all(|s| s.receiver == "shared"));
+    assert_eq!(report.sites.iter().filter(|s| s.kind == "write").count(), 2);
+
+    // Pairs: set x set and set x get across the two tasks, plus both
+    // writes against the main thread's post-spawn len().
+    assert_eq!(report.pairs.len(), 4);
+    assert_eq!(
+        report
+            .pairs
+            .iter()
+            .filter(|p| p.reason == "cross-task")
+            .count(),
+        2
+    );
+    assert_eq!(
+        report
+            .pairs
+            .iter()
+            .filter(|p| p.reason == "main-vs-spawned")
+            .count(),
+        2
+    );
+    let ww = report
+        .pairs
+        .iter()
+        .find(|p| p.first_op == "Dictionary.set" && p.second_op == "Dictionary.set")
+        .expect("write-write pair");
+    assert_eq!(ww.first, "shared_map.rs:9:26");
+    assert_eq!(ww.second, "shared_map.rs:11:11");
+}
+
+#[test]
+fn allowlist_splits_intended_from_blocking() {
+    let mut report = analyze_workspace(&fixtures_root()).expect("analyze fixtures");
+    let allowlist =
+        Allowlist::load(&fixtures_root().join("allowlist.toml")).expect("load allowlist");
+    report.apply_allowlist(&allowlist);
+    let blocking = report.unallowlisted_escapes();
+    assert_eq!(blocking.len(), 1, "only the HashMap escape blocks");
+    assert_eq!(blocking[0].name, "HashMap");
+    assert_eq!(blocking[0].file, "escape_raw.rs");
+}
+
+#[test]
+fn fixture_pairs_become_a_static_trap_file() {
+    let report = analyze_workspace(&fixtures_root()).expect("analyze fixtures");
+    let tf = report.to_trap_file();
+    assert_eq!(tf.pairs.len(), 4);
+    assert_eq!(tf.count_origin(PairOrigin::Static), 4);
+    // Every textual pair must re-intern as real SiteIds.
+    assert_eq!(tf.to_pairs().len(), 4);
+}
+
+#[test]
+fn jsonl_round_trips_every_fixture_record() {
+    let report = analyze_workspace(&fixtures_root()).expect("analyze fixtures");
+    let jsonl = report.to_jsonl();
+    // summary + 2 escapes + 4 sites + 4 pairs
+    assert_eq!(jsonl.lines().count(), 11);
+    for line in jsonl.lines() {
+        let v: serde::Value = serde_json::from_str(line).expect("valid JSON line");
+        let obj = v.as_object().expect("object");
+        assert!(obj.contains_key("record"));
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: intentional raw usage, covered by `allowlist.toml`.
+use std::collections::VecDeque;
+use tsvd_tasks::Pool;
+
+pub fn scratch(pool: &Pool) {
+    let q = VecDeque::new();
+    pool.spawn(move || drop(q));
+}

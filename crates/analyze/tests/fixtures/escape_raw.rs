@@ -1,0 +1,9 @@
+//! Fixture: a raw std map escaping instrumentation in concurrent code.
+use std::collections::HashMap;
+use tsvd_tasks::Pool;
+
+pub fn leak(pool: &Pool) {
+    let mut cache = HashMap::new();
+    cache.insert(1, 2);
+    pool.spawn(move || drop(cache));
+}

@@ -1,0 +1,15 @@
+//! Fixture: a closure-captured shared dictionary with conflicting accesses.
+use tsvd_collections::Dictionary;
+use tsvd_tasks::Pool;
+
+pub fn racy(pool: &Pool) {
+    let shared = Dictionary::new();
+    let a = shared.clone();
+    let b = shared.clone();
+    pool.spawn(move || a.set(1, 10));
+    pool.spawn(move || {
+        b.set(2, 20);
+        b.get(&1);
+    });
+    shared.len();
+}

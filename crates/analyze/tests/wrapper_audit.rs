@@ -1,0 +1,77 @@
+//! Wrapper audit: proves the shipped collection wrappers and the shared
+//! API table agree *exactly*.
+//!
+//! The analyzer classifies static sites with [`tsvd_core::access::API_TABLE`];
+//! the wrappers classify dynamic calls by which `Instrumented` method they
+//! route through. If a wrapper adds a public op without a table entry (or
+//! routes it through the wrong side), static and dynamic classification
+//! silently diverge. This test lexes the wrapper sources and checks both
+//! directions:
+//!
+//! - every `"Class.op"` literal passed to `.write(site, ..)` /
+//!   `.read(site, ..)` is present in the table with the same kind;
+//! - every table entry appears in at least one wrapper call.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use tsvd_analyze::instrumented_op_literals;
+use tsvd_core::{OpKind, API_TABLE};
+
+fn wrapper_ops() -> BTreeMap<String, OpKind> {
+    let src_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../collections/src");
+    let mut ops = BTreeMap::new();
+    for entry in std::fs::read_dir(&src_dir).expect("read collections/src") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("read wrapper source");
+        for (name, kind) in instrumented_op_literals(&src) {
+            if let Some(prev) = ops.insert(name.clone(), kind) {
+                assert_eq!(
+                    prev, kind,
+                    "{name} is reported as both read and write in the wrappers"
+                );
+            }
+        }
+    }
+    ops
+}
+
+#[test]
+fn every_wrapper_op_is_classified_in_the_shared_table() {
+    let ops = wrapper_ops();
+    assert!(
+        !ops.is_empty(),
+        "found no instrumented ops — pattern drift?"
+    );
+    for (name, kind) in &ops {
+        let entry = API_TABLE
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("wrapper op {name} missing from tsvd_core API_TABLE"));
+        assert_eq!(
+            entry.kind, *kind,
+            "{name}: wrapper routes it as {kind:?} but the table says {:?}",
+            entry.kind
+        );
+    }
+}
+
+#[test]
+fn every_table_entry_is_implemented_by_a_wrapper() {
+    let ops = wrapper_ops();
+    for entry in API_TABLE {
+        assert!(
+            ops.contains_key(entry.name),
+            "table entry {} has no wrapper implementation",
+            entry.name
+        );
+    }
+    assert_eq!(
+        ops.len(),
+        API_TABLE.len(),
+        "wrapper op count and table size must match exactly"
+    );
+}

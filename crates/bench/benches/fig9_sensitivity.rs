@@ -25,6 +25,7 @@ fn bench_sensitivity(c: &mut Criterion) {
         runs: 1,
         shared_trap_file: false,
         module_deadline: None,
+        static_priors: None,
     };
 
     let settings: Vec<Setting> = vec![

@@ -22,6 +22,7 @@ fn bench_suite(c: &mut Criterion) {
         shared_trap_file: false,
         // No watched thread in benches: measure the runner itself.
         module_deadline: None,
+        static_priors: None,
     };
     let mut g = c.benchmark_group("table2_suite_pass");
     g.sample_size(10);

@@ -1,116 +1,20 @@
 //! The extensible list of thread-unsafe APIs and their read/write
 //! classification (§4).
 //!
-//! The paper ships TSVD with a list of 14 thread-unsafe .NET classes, 59
-//! write-APIs and 64 read-APIs, "so a developer can use TSVD without
-//! additional configuration". This registry is that list for the 10
-//! collection classes of this crate: 50 write-APIs and 54 read-APIs. Tests
-//! assert that every wrapper method reports an operation name present here
-//! with the matching classification.
+//! The table itself lives in [`tsvd_core::access`] so there is exactly one
+//! source of truth shared by the dynamic side (these wrappers) and the
+//! static side (the `tsvd-analyze` front end). This module re-exports it
+//! under its historical location; `classify` is kept as an alias of
+//! [`tsvd_core::access::classify_op`].
+
+pub use tsvd_core::access::{class_count, read_api_count, write_api_count, ApiEntry, API_TABLE};
 
 use tsvd_core::OpKind;
 
-/// One classified thread-unsafe API.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ApiEntry {
-    /// Fully qualified operation name, e.g. `"Dictionary.add"`.
-    pub name: &'static str,
-    /// Read/write classification under the thread-safety contract.
-    pub kind: OpKind,
-}
-
-macro_rules! api_table {
-    ($($class:literal => { W: [$($w:literal),* $(,)?], R: [$($r:literal),* $(,)?] }),* $(,)?) => {
-        /// Every classified API, grouped write-then-read per class.
-        pub const API_TABLE: &[ApiEntry] = &[
-            $(
-                $(ApiEntry { name: concat!($class, ".", $w), kind: OpKind::Write },)*
-                $(ApiEntry { name: concat!($class, ".", $r), kind: OpKind::Read },)*
-            )*
-        ];
-    };
-}
-
-api_table! {
-    "Dictionary" => {
-        W: ["add", "set", "remove", "clear"],
-        R: ["get", "contains_key", "len", "is_empty", "keys", "values"]
-    },
-    "List" => {
-        W: ["add", "insert", "remove_at", "set", "clear", "sort"],
-        R: ["get", "len", "is_empty", "to_vec", "contains"]
-    },
-    "HashSet" => {
-        W: ["add", "remove", "clear"],
-        R: ["contains", "len", "is_empty", "to_vec"]
-    },
-    "Queue" => {
-        W: ["enqueue", "dequeue", "clear"],
-        R: ["peek", "len", "is_empty"]
-    },
-    "Stack" => {
-        W: ["push", "pop", "clear"],
-        R: ["peek", "len", "is_empty"]
-    },
-    "SortedList" => {
-        W: ["add", "set", "remove", "clear"],
-        R: ["get", "contains_key", "first", "last", "len", "is_empty"]
-    },
-    "LinkedDeque" => {
-        W: ["push_front", "push_back", "pop_front", "pop_back", "clear"],
-        R: ["front", "back", "len", "is_empty"]
-    },
-    "StringBuilder" => {
-        W: ["append", "append_char", "insert", "clear"],
-        R: ["to_string", "len", "is_empty"]
-    },
-    "Cache" => {
-        W: ["set_capacity", "put", "invalidate", "clear"],
-        R: ["get", "contains_key", "len", "is_empty"]
-    },
-    "BitArray" => {
-        W: ["resize", "set", "flip", "clear_all"],
-        R: ["get", "count_ones", "capacity"]
-    },
-    "SortedSet" => {
-        W: ["add", "remove", "clear"],
-        R: ["contains", "min", "max", "len", "is_empty", "to_vec"]
-    },
-    "MultiMap" => {
-        W: ["add", "remove_value", "remove_key", "clear"],
-        R: ["get", "contains_key", "key_count", "value_count"]
-    },
-    "PriorityQueue" => {
-        W: ["push", "pop", "clear"],
-        R: ["peek", "len", "is_empty"]
-    },
-}
-
 /// Looks up the classification of `op_name`, or `None` if the API is not in
-/// the thread-unsafe list.
+/// the thread-unsafe list. Alias of [`tsvd_core::access::classify_op`].
 pub fn classify(op_name: &str) -> Option<OpKind> {
-    API_TABLE.iter().find(|e| e.name == op_name).map(|e| e.kind)
-}
-
-/// Number of write-classified APIs.
-pub fn write_api_count() -> usize {
-    API_TABLE.iter().filter(|e| e.kind == OpKind::Write).count()
-}
-
-/// Number of read-classified APIs.
-pub fn read_api_count() -> usize {
-    API_TABLE.iter().filter(|e| e.kind == OpKind::Read).count()
-}
-
-/// Number of distinct instrumented classes.
-pub fn class_count() -> usize {
-    let mut classes: Vec<&str> = API_TABLE
-        .iter()
-        .filter_map(|e| e.name.split('.').next())
-        .collect();
-    classes.sort_unstable();
-    classes.dedup();
-    classes.len()
+    tsvd_core::access::classify_op(op_name)
 }
 
 #[cfg(test)]
@@ -118,33 +22,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn table_shape() {
+    fn reexported_table_is_the_core_table() {
+        assert_eq!(API_TABLE.len(), tsvd_core::access::API_TABLE.len());
+        assert_eq!(classify("Dictionary.add"), Some(OpKind::Write));
+        assert_eq!(classify("Cache.get"), Some(OpKind::Read));
+        assert_eq!(classify("ConcurrentDictionary.add"), None);
+    }
+
+    #[test]
+    fn table_shape_is_stable() {
         assert_eq!(class_count(), 13);
         assert_eq!(write_api_count(), 50);
         assert_eq!(read_api_count(), 54);
-        assert_eq!(API_TABLE.len(), 104);
-    }
-
-    #[test]
-    fn classify_known_apis() {
-        assert_eq!(classify("Dictionary.add"), Some(OpKind::Write));
-        assert_eq!(classify("Dictionary.contains_key"), Some(OpKind::Read));
-        assert_eq!(classify("List.sort"), Some(OpKind::Write));
-        assert_eq!(classify("Cache.get"), Some(OpKind::Read));
-    }
-
-    #[test]
-    fn classify_unknown_api() {
-        assert_eq!(classify("ConcurrentDictionary.add"), None);
-        assert_eq!(classify(""), None);
-    }
-
-    #[test]
-    fn no_duplicate_entries() {
-        let mut names: Vec<&str> = API_TABLE.iter().map(|e| e.name).collect();
-        names.sort_unstable();
-        let before = names.len();
-        names.dedup();
-        assert_eq!(before, names.len());
     }
 }

@@ -67,6 +67,15 @@ impl<C> Instrumented<C> {
         op_name: &'static str,
         f: impl FnOnce(&mut C) -> R,
     ) -> R {
+        // The shared API table is the single source of truth for read/write
+        // classification; an op it classifies as a read must never be
+        // reported through the write path. Names absent from the table
+        // (custom instrumented types) are allowed.
+        debug_assert_ne!(
+            tsvd_core::access::classify_op(op_name),
+            Some(OpKind::Read),
+            "{op_name} is read-classified in the shared API table but was reported as a write"
+        );
         let section = self.raw.enter_write();
         if let Some(rt) = &self.runtime {
             rt.on_call(self.obj_id(), site, op_name, OpKind::Write);
@@ -81,6 +90,11 @@ impl<C> Instrumented<C> {
         op_name: &'static str,
         f: impl FnOnce(&C) -> R,
     ) -> R {
+        debug_assert_ne!(
+            tsvd_core::access::classify_op(op_name),
+            Some(OpKind::Write),
+            "{op_name} is write-classified in the shared API table but was reported as a read"
+        );
         let section = self.raw.enter_read();
         if let Some(rt) = &self.runtime {
             rt.on_call(self.obj_id(), site, op_name, OpKind::Read);
@@ -166,6 +180,24 @@ mod tests {
         let cell = Instrumented::unmonitored(0u32);
         cell.write(tsvd_core::site!(), "test.set", |v| *v = 5);
         assert_eq!(cell.read(tsvd_core::site!(), "test.get", |v| *v), 5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "read-classified")]
+    fn table_misuse_write_path_is_rejected() {
+        let cell = Instrumented::unmonitored(Vec::<u32>::new());
+        // `Dictionary.get` is a read API; reporting it as a write must trip
+        // the shared-table cross-check.
+        cell.write(tsvd_core::site!(), "Dictionary.get", |v| v.len());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "write-classified")]
+    fn table_misuse_read_path_is_rejected() {
+        let cell = Instrumented::unmonitored(Vec::<u32>::new());
+        cell.read(tsvd_core::site!(), "Dictionary.add", |v| v.len());
     }
 
     #[test]

@@ -68,6 +68,128 @@ impl Access {
     }
 }
 
+/// One classified thread-unsafe API.
+///
+/// The paper ships TSVD with a list of thread-unsafe .NET classes and the
+/// read/write classification of every method, "so a developer can use TSVD
+/// without additional configuration" (§4). This registry is that list for
+/// the instrumented collection classes: it is the *single source of truth*
+/// consumed by the dynamic side (the `tsvd-collections` wrappers assert
+/// their reported operations against it) and the static side (the
+/// `tsvd-analyze` front end classifies call sites with it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApiEntry {
+    /// Fully qualified operation name, e.g. `"Dictionary.add"`.
+    pub name: &'static str,
+    /// Read/write classification under the thread-safety contract.
+    pub kind: OpKind,
+}
+
+macro_rules! api_table {
+    ($($class:literal => { W: [$($w:literal),* $(,)?], R: [$($r:literal),* $(,)?] }),* $(,)?) => {
+        /// Every classified API, grouped write-then-read per class.
+        pub const API_TABLE: &[ApiEntry] = &[
+            $(
+                $(ApiEntry { name: concat!($class, ".", $w), kind: OpKind::Write },)*
+                $(ApiEntry { name: concat!($class, ".", $r), kind: OpKind::Read },)*
+            )*
+        ];
+    };
+}
+
+api_table! {
+    "Dictionary" => {
+        W: ["add", "set", "remove", "clear"],
+        R: ["get", "contains_key", "len", "is_empty", "keys", "values"]
+    },
+    "List" => {
+        W: ["add", "insert", "remove_at", "set", "clear", "sort"],
+        R: ["get", "len", "is_empty", "to_vec", "contains"]
+    },
+    "HashSet" => {
+        W: ["add", "remove", "clear"],
+        R: ["contains", "len", "is_empty", "to_vec"]
+    },
+    "Queue" => {
+        W: ["enqueue", "dequeue", "clear"],
+        R: ["peek", "len", "is_empty"]
+    },
+    "Stack" => {
+        W: ["push", "pop", "clear"],
+        R: ["peek", "len", "is_empty"]
+    },
+    "SortedList" => {
+        W: ["add", "set", "remove", "clear"],
+        R: ["get", "contains_key", "first", "last", "len", "is_empty"]
+    },
+    "LinkedDeque" => {
+        W: ["push_front", "push_back", "pop_front", "pop_back", "clear"],
+        R: ["front", "back", "len", "is_empty"]
+    },
+    "StringBuilder" => {
+        W: ["append", "append_char", "insert", "clear"],
+        R: ["to_string", "len", "is_empty"]
+    },
+    "Cache" => {
+        W: ["set_capacity", "put", "invalidate", "clear"],
+        R: ["get", "contains_key", "len", "is_empty"]
+    },
+    "BitArray" => {
+        W: ["resize", "set", "flip", "clear_all"],
+        R: ["get", "count_ones", "capacity"]
+    },
+    "SortedSet" => {
+        W: ["add", "remove", "clear"],
+        R: ["contains", "min", "max", "len", "is_empty", "to_vec"]
+    },
+    "MultiMap" => {
+        W: ["add", "remove_value", "remove_key", "clear"],
+        R: ["get", "contains_key", "key_count", "value_count"]
+    },
+    "PriorityQueue" => {
+        W: ["push", "pop", "clear"],
+        R: ["peek", "len", "is_empty"]
+    },
+}
+
+/// Looks up the classification of `op_name`, or `None` if the API is not in
+/// the thread-unsafe list.
+pub fn classify_op(op_name: &str) -> Option<OpKind> {
+    API_TABLE.iter().find(|e| e.name == op_name).map(|e| e.kind)
+}
+
+/// Splits an operation name into `(class, method)`, e.g. `"Dictionary.add"`
+/// into `("Dictionary", "add")`.
+pub fn split_op(op_name: &str) -> Option<(&str, &str)> {
+    op_name.split_once('.')
+}
+
+/// Number of write-classified APIs.
+pub fn write_api_count() -> usize {
+    API_TABLE.iter().filter(|e| e.kind == OpKind::Write).count()
+}
+
+/// Number of read-classified APIs.
+pub fn read_api_count() -> usize {
+    API_TABLE.iter().filter(|e| e.kind == OpKind::Read).count()
+}
+
+/// The distinct instrumented class names, sorted.
+pub fn api_classes() -> Vec<&'static str> {
+    let mut classes: Vec<&str> = API_TABLE
+        .iter()
+        .filter_map(|e| e.name.split('.').next())
+        .collect();
+    classes.sort_unstable();
+    classes.dedup();
+    classes
+}
+
+/// Number of distinct instrumented classes.
+pub fn class_count() -> usize {
+    api_classes().len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +229,42 @@ mod tests {
     #[test]
     fn different_objects_never_conflict() {
         assert!(!acc(1, 7, OpKind::Write).conflicts_with(&acc(2, 8, OpKind::Write)));
+    }
+
+    #[test]
+    fn api_table_shape() {
+        assert_eq!(class_count(), 13);
+        assert_eq!(write_api_count(), 50);
+        assert_eq!(read_api_count(), 54);
+        assert_eq!(API_TABLE.len(), 104);
+    }
+
+    #[test]
+    fn classify_known_apis() {
+        assert_eq!(classify_op("Dictionary.add"), Some(OpKind::Write));
+        assert_eq!(classify_op("Dictionary.contains_key"), Some(OpKind::Read));
+        assert_eq!(classify_op("List.sort"), Some(OpKind::Write));
+        assert_eq!(classify_op("Cache.get"), Some(OpKind::Read));
+    }
+
+    #[test]
+    fn classify_unknown_api() {
+        assert_eq!(classify_op("ConcurrentDictionary.add"), None);
+        assert_eq!(classify_op(""), None);
+    }
+
+    #[test]
+    fn no_duplicate_entries() {
+        let mut names: Vec<&str> = API_TABLE.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+
+    #[test]
+    fn split_op_splits_at_first_dot() {
+        assert_eq!(split_op("Dictionary.add"), Some(("Dictionary", "add")));
+        assert_eq!(split_op("nodot"), None);
     }
 }

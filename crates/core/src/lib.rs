@@ -51,7 +51,7 @@ pub mod trap_file;
 pub mod trapset;
 pub mod watchdog;
 
-pub use access::{Access, ObjId, OpKind};
+pub use access::{classify_op, Access, ApiEntry, ObjId, OpKind, API_TABLE};
 pub use clock::{now_ns, Clock, ManualClock, RealClock};
 pub use config::TsvdConfig;
 pub use context::ContextId;
@@ -60,5 +60,5 @@ pub use runtime::Runtime;
 pub use sink::{DurableSink, ViolationRecord};
 pub use site::SiteId;
 pub use strategy::{Strategy, SyncEvent};
-pub use trap_file::TrapFileData;
+pub use trap_file::{PairOrigin, TrapFileData};
 pub use watchdog::{DegradeReason, Watchdog, WorkerRegistration};

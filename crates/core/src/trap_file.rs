@@ -14,22 +14,112 @@ use serde::{Deserialize, Serialize};
 use crate::near_miss::SitePair;
 use crate::site::SiteId;
 
+/// Where a persisted dangerous pair came from.
+///
+/// The dynamic detector discovers pairs through near misses at run time;
+/// the static front end (`tsvd-analyze`) predicts them from source before
+/// any run. Tagging the origin keeps statically seeded priors
+/// distinguishable in reports and lets a later run measure how much each
+/// source contributed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PairOrigin {
+    /// Discovered by the runtime (near-miss tracking). The default: trap
+    /// files written before the tag existed deserialize as dynamic.
+    #[default]
+    Dynamic,
+    /// Predicted by the static analyzer.
+    Static,
+}
+
+impl PairOrigin {
+    /// Stable textual form used in the file format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PairOrigin::Dynamic => "dynamic",
+            PairOrigin::Static => "static",
+        }
+    }
+}
+
+// The vendored serde derive covers named-field structs only, so the enum
+// carries hand-written impls (string-valued; unknown text degrades to the
+// back-compat default rather than poisoning the whole file).
+impl Serialize for PairOrigin {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for PairOrigin {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(match value {
+            serde::Value::Str(s) if s == "static" => PairOrigin::Static,
+            _ => PairOrigin::Dynamic,
+        })
+    }
+}
+
 /// Serializable snapshot of a trap set.
 #[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
 pub struct TrapFileData {
     /// Dangerous pairs, as textual site locations (`file:line:column`).
     pub pairs: Vec<(String, String)>,
+    /// Per-pair origin, parallel to `pairs`. May be shorter than `pairs`
+    /// (files written by older builds have no origins at all); missing
+    /// entries are [`PairOrigin::Dynamic`].
+    #[serde(default)]
+    pub origins: Vec<PairOrigin>,
 }
 
 impl TrapFileData {
-    /// Builds a snapshot from in-memory pairs.
+    /// Builds a snapshot from in-memory pairs (dynamic origin).
     pub fn from_pairs(pairs: &[SitePair]) -> Self {
+        Self::from_pairs_with_origin(pairs, PairOrigin::Dynamic)
+    }
+
+    /// Builds a snapshot from in-memory pairs with an explicit origin.
+    pub fn from_pairs_with_origin(pairs: &[SitePair], origin: PairOrigin) -> Self {
         TrapFileData {
             pairs: pairs
                 .iter()
                 .map(|p| (p.first.to_string(), p.second.to_string()))
                 .collect(),
+            origins: vec![origin; pairs.len()],
         }
+    }
+
+    /// The origin of pair `index`; pairs beyond the recorded origins are
+    /// dynamic (back-compat with files written before the tag existed).
+    pub fn origin(&self, index: usize) -> PairOrigin {
+        self.origins.get(index).copied().unwrap_or_default()
+    }
+
+    /// Appends a pair in textual form with its origin.
+    pub fn push(&mut self, pair: (String, String), origin: PairOrigin) {
+        // Materialize implicit dynamic origins first so the parallel vectors
+        // stay aligned once a non-default origin appears.
+        while self.origins.len() < self.pairs.len() {
+            self.origins.push(PairOrigin::Dynamic);
+        }
+        self.pairs.push(pair);
+        self.origins.push(origin);
+    }
+
+    /// Merges `other` into `self`, deduplicating textual pairs. A pair
+    /// present in both keeps `self`'s origin.
+    pub fn merge(&mut self, other: &TrapFileData) {
+        for (i, pair) in other.pairs.iter().enumerate() {
+            if !self.pairs.contains(pair) {
+                self.push(pair.clone(), other.origin(i));
+            }
+        }
+    }
+
+    /// Number of pairs tagged with `origin`.
+    pub fn count_origin(&self, origin: PairOrigin) -> usize {
+        (0..self.pairs.len())
+            .filter(|&i| self.origin(i) == origin)
+            .count()
     }
 
     /// Re-interns the stored pairs. Pairs whose text cannot be parsed are
@@ -135,9 +225,71 @@ mod tests {
                 ("not-a-site".into(), "also:bad".into()),
                 (site(20).to_string(), site(21).to_string()),
             ],
+            origins: Vec::new(),
         };
         let pairs = data.to_pairs();
         assert_eq!(pairs, vec![SitePair::new(site(20), site(21))]);
+    }
+
+    #[test]
+    fn origins_round_trip_through_save_and_load() {
+        let dir = std::env::temp_dir().join(format!("tsvd_trapfile_origin_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("traps.json");
+        let mut data = TrapFileData::from_pairs_with_origin(
+            &[SitePair::new(site(40), site(41))],
+            PairOrigin::Static,
+        );
+        data.push(
+            (site(42).to_string(), site(43).to_string()),
+            PairOrigin::Dynamic,
+        );
+        data.save(&path).expect("save");
+        let loaded = TrapFileData::load(&path).expect("load");
+        assert_eq!(loaded, data);
+        assert_eq!(loaded.origin(0), PairOrigin::Static);
+        assert_eq!(loaded.origin(1), PairOrigin::Dynamic);
+        assert_eq!(loaded.count_origin(PairOrigin::Static), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_origin_field_defaults_to_dynamic() {
+        // A file written before the origin tag existed: pairs only.
+        let dir =
+            std::env::temp_dir().join(format!("tsvd_trapfile_backcompat_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("traps.json");
+        std::fs::write(&path, r#"{"pairs": [["a.rs:1:1", "b.rs:2:2"]]}"#).expect("write");
+        let loaded = TrapFileData::load(&path).expect("load");
+        assert_eq!(loaded.pairs.len(), 1);
+        assert!(loaded.origins.is_empty());
+        assert_eq!(loaded.origin(0), PairOrigin::Dynamic);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_dedupes_and_keeps_origins() {
+        let mut a = TrapFileData::from_pairs_with_origin(
+            &[SitePair::new(site(50), site(51))],
+            PairOrigin::Static,
+        );
+        let mut b = TrapFileData::from_pairs(&[SitePair::new(site(50), site(51))]);
+        b.push(
+            (site(52).to_string(), site(53).to_string()),
+            PairOrigin::Dynamic,
+        );
+        a.merge(&b);
+        assert_eq!(a.pairs.len(), 2, "shared pair must not duplicate");
+        assert_eq!(a.origin(0), PairOrigin::Static, "self's origin wins");
+        assert_eq!(a.origin(1), PairOrigin::Dynamic);
+    }
+
+    #[test]
+    fn unknown_origin_text_degrades_to_dynamic() {
+        use serde::Deserialize;
+        let v = serde::Value::Str("martian".to_string());
+        assert_eq!(PairOrigin::from_value(&v).unwrap(), PairOrigin::Dynamic);
     }
 
     #[test]

@@ -23,6 +23,7 @@ fn main() {
         runs: 2,
         shared_trap_file: false,
         module_deadline: Some(std::time::Duration::from_secs(30)),
+        static_priors: None,
     };
     let mut per: HashMap<&'static str, HashMap<String, (usize, usize)>> = HashMap::new();
     for kind in [DetectorKind::Tsvd, DetectorKind::TsvdHb] {

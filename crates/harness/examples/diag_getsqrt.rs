@@ -14,6 +14,7 @@ fn main() {
         runs: 1,
         shared_trap_file: false,
         module_deadline: Some(std::time::Duration::from_secs(30)),
+        static_priors: None,
     };
     for kind in [DetectorKind::Tsvd, DetectorKind::TsvdHb] {
         let m = tsvd_workloads::scenarios::paper_examples::getsqrt_cache(3);

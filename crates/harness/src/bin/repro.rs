@@ -16,9 +16,102 @@ use tsvd_harness::report::Table;
 fn usage() -> ! {
     eprintln!(
         "usage: repro <table1|table2|table3|table4|fig8|fig9|fneg|resources|ext|validate|coverage|chaos|all> \
-         [--modules N] [--runs N] [--seed N] [--scale F] [--threads N]"
+         [--modules N] [--runs N] [--seed N] [--scale F] [--threads N]\n\
+         \x20      repro analyze [--root DIR] [--allowlist FILE] [--jsonl FILE] \
+         [--emit-traps FILE] [--deny-escapes]"
     );
     std::process::exit(2);
+}
+
+/// `repro analyze`: run the static front end over a source tree.
+///
+/// Prints the human report; optionally writes a JSONL report and a
+/// statically-tagged trap file. Exit codes: 0 clean, 1 un-allowlisted
+/// escapes found under `--deny-escapes`, 2 usage or I/O error.
+fn run_analyze_cmd(args: &[String]) -> ! {
+    let mut root = std::path::PathBuf::from(".");
+    let mut allowlist_path: Option<std::path::PathBuf> = None;
+    let mut jsonl_path: Option<std::path::PathBuf> = None;
+    let mut traps_path: Option<std::path::PathBuf> = None;
+    let mut deny_escapes = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny-escapes" => {
+                deny_escapes = true;
+                i += 1;
+            }
+            flag @ ("--root" | "--allowlist" | "--jsonl" | "--emit-traps") => {
+                let Some(value) = args.get(i + 1) else {
+                    usage()
+                };
+                let path = std::path::PathBuf::from(value);
+                match flag {
+                    "--root" => root = path,
+                    "--allowlist" => allowlist_path = Some(path),
+                    "--jsonl" => jsonl_path = Some(path),
+                    _ => traps_path = Some(path),
+                }
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let mut report = match tsvd_analyze::analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro analyze: cannot scan {}: {e}", root.display());
+            std::process::exit(2);
+        }
+    };
+    // Default allowlist: <root>/analyze-allowlist.toml when present.
+    let allowlist = match &allowlist_path {
+        Some(p) => match tsvd_analyze::Allowlist::load(p) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("repro analyze: cannot read allowlist {}: {e}", p.display());
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let default = root.join("analyze-allowlist.toml");
+            if default.is_file() {
+                tsvd_analyze::Allowlist::load(&default).unwrap_or_default()
+            } else {
+                tsvd_analyze::Allowlist::empty()
+            }
+        }
+    };
+    report.apply_allowlist(&allowlist);
+
+    print!("{}", report.render_human());
+    if let Some(p) = &jsonl_path {
+        if let Err(e) = std::fs::write(p, report.to_jsonl()) {
+            eprintln!("repro analyze: cannot write {}: {e}", p.display());
+            std::process::exit(2);
+        }
+        println!("[jsonl report: {}]", p.display());
+    }
+    if let Some(p) = &traps_path {
+        if let Err(e) = report.to_trap_file().save(p) {
+            eprintln!("repro analyze: cannot write {}: {e}", p.display());
+            std::process::exit(2);
+        }
+        println!(
+            "[static trap file: {} ({} pairs)]",
+            p.display(),
+            report.pairs.len()
+        );
+    }
+    let blocking = report.unallowlisted_escapes().len();
+    if deny_escapes && blocking > 0 {
+        eprintln!(
+            "repro analyze: {blocking} raw-collection escape(s) not covered by the allowlist"
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
 }
 
 /// Runs the chaos storm (`--runs` iterations, default 10) and exits
@@ -95,6 +188,9 @@ fn emit(name: &str, tables: Vec<Table>) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(which) = args.first() else { usage() };
+    if which == "analyze" {
+        run_analyze_cmd(&args[1..]);
+    }
     let opts = parse_opts(&args[1..]);
 
     let start = std::time::Instant::now();

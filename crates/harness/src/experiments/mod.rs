@@ -60,6 +60,7 @@ impl ExpOpts {
             runs: self.runs,
             shared_trap_file: false,
             module_deadline: Some(std::time::Duration::from_secs(30)),
+            static_priors: None,
         }
     }
 

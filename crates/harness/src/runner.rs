@@ -80,6 +80,11 @@ pub struct RunOptions {
     /// runtime (delays cancelled, injection off) and records a
     /// [`ModuleOutcome::TimedOut`] instead of hanging the suite.
     pub module_deadline: Option<Duration>,
+    /// Statically predicted dangerous pairs (`tsvd-analyze` output),
+    /// imported into every module's runtime *in addition to* any carried
+    /// trap file. Pre-arms traps before the first dynamic run, the static
+    /// analogue of §3.4.6's cross-run persistence.
+    pub static_priors: Option<TrapFileData>,
 }
 
 impl RunOptions {
@@ -91,6 +96,15 @@ impl RunOptions {
             runs: 2,
             shared_trap_file: false,
             module_deadline: Some(Duration::from_secs(30)),
+            static_priors: None,
+        }
+    }
+
+    /// `standard()` with static priors attached.
+    pub fn with_static_priors(priors: TrapFileData) -> RunOptions {
+        RunOptions {
+            static_priors: Some(priors),
+            ..RunOptions::standard()
         }
     }
 }
@@ -201,8 +215,17 @@ pub fn run_module_once(
     trap_file: Option<&TrapFileData>,
 ) -> ModuleRun {
     let rt = kind.build(options.config.clone());
-    if let Some(tf) = trap_file {
-        rt.import_trap_file(tf);
+    // Carried trap file and static priors merge (carried origins win for
+    // pairs both know about); either alone imports directly.
+    match (trap_file, &options.static_priors) {
+        (Some(tf), Some(priors)) => {
+            let mut merged = tf.clone();
+            merged.merge(priors);
+            rt.import_trap_file(&merged);
+        }
+        (Some(tf), None) => rt.import_trap_file(tf),
+        (None, Some(priors)) => rt.import_trap_file(priors),
+        (None, None) => {}
     }
     let ctx = ModuleCtx::new(rt.clone(), options.threads);
     let start = Instant::now();
@@ -382,6 +405,7 @@ mod tests {
             runs: 2,
             shared_trap_file: false,
             module_deadline: Some(Duration::from_secs(30)),
+            static_priors: None,
         }
     }
 

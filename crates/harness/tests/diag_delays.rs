@@ -19,6 +19,7 @@ fn per_family_delays() {
         runs: 1,
         shared_trap_file: false,
         module_deadline: Some(std::time::Duration::from_secs(30)),
+        static_priors: None,
     };
     for kind in [DetectorKind::Tsvd, DetectorKind::TsvdHb] {
         let mut per: HashMap<String, (u64, u64)> = HashMap::new();

@@ -1,0 +1,85 @@
+//! Static-then-dynamic demo: `tsvd-analyze` predicts a dangerous pair
+//! from source, and the seeded detector catches it in the *first* run.
+//!
+//! The workload here is deliberately hostile to purely dynamic detection:
+//! each task touches the shared dictionary exactly once per process, so
+//! the near miss that would arm the pair is also the last access — an
+//! unseeded run can observe but never trap (§3.4.6 of the paper). The
+//! static front end closes that gap: it reads *this file*, emits the pair
+//! with the same `file:line:column` site ids `#[track_caller]` produces,
+//! and the pre-armed trap fires on the first and only execution.
+//!
+//! ```text
+//! cargo run --release --example analyze_demo
+//! ```
+
+use std::path::Path;
+
+use tsvd::prelude::*;
+
+/// This file, as both the analyzer input and the runtime's caller path.
+const SELF_PATH: &str = "examples/analyze_demo.rs";
+
+/// The buggy "test": two tasks, one conflicting write each — no retries.
+fn run_once(rt: &std::sync::Arc<Runtime>) {
+    let pool = Pool::with_runtime(2, rt.clone());
+    let settings: Dictionary<String, u64> = Dictionary::new(rt);
+    let s1 = settings.clone();
+    let writer = pool.spawn(move || s1.set("timeout".into(), 30));
+    let s2 = settings.clone();
+    let racer = pool.spawn(move || s2.set("timeout".into(), 60));
+    writer.wait();
+    racer.wait();
+}
+
+fn main() {
+    println!("=== tsvd-analyze demo: static priors remove the warm-up run ===\n");
+
+    // Phase 1 — static: lex this file, find sites and dangerous pairs.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report =
+        tsvd::analyze::analyze_paths(root, &[SELF_PATH.to_string()]).expect("analyze own source");
+    println!("static sites found:");
+    for site in &report.sites {
+        println!(
+            "  {:<28} {}.{} ({:?})",
+            site.site_text(),
+            site.class,
+            site.method,
+            site.kind
+        );
+    }
+    println!("\nstatic dangerous-pair candidates:");
+    for pair in &report.pairs {
+        println!("  {} <-> {}  [{}]", pair.first, pair.second, pair.reason);
+    }
+    let priors = report.to_trap_file();
+
+    // Phase 2 — dynamic, unseeded: the pair runs once, so nothing traps.
+    let config = TsvdConfig::paper().scaled(0.05); // 5 ms delays.
+    let unseeded = Runtime::tsvd(config.clone());
+    run_once(&unseeded);
+    println!(
+        "\nunseeded first run : {} violation(s) (the near miss is the last \
+         access — nothing left to trap)",
+        unseeded.reports().unique_bugs()
+    );
+
+    // Phase 3 — dynamic, seeded with the static pairs: caught first run.
+    let seeded = Runtime::tsvd(config);
+    seeded.import_trap_file(&priors);
+    run_once(&seeded);
+    let sink = seeded.reports();
+    println!("seeded first run   : {} violation(s)", sink.unique_bugs());
+    for v in sink.violations().iter().take(1) {
+        println!("\n--- thread-safety violation (caught red-handed) ---");
+        println!(
+            "  {} at {}  [{}]",
+            v.trapped.op_name, v.trapped.site, v.trapped.context
+        );
+        println!(
+            "  {} at {}  [{}]",
+            v.hitter.op_name, v.hitter.site, v.hitter.context
+        );
+    }
+}

@@ -51,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub use tsvd_analyze as analyze;
 pub use tsvd_collections as collections;
 pub use tsvd_core as core;
 pub use tsvd_harness as harness;

@@ -14,6 +14,7 @@ fn options(seed_shift: u64) -> RunOptions {
         runs: 1,
         shared_trap_file: false,
         module_deadline: Some(std::time::Duration::from_secs(30)),
+        static_priors: None,
     }
 }
 

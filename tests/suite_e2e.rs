@@ -15,6 +15,7 @@ fn options(runs: usize) -> RunOptions {
         runs,
         shared_trap_file: false,
         module_deadline: Some(std::time::Duration::from_secs(30)),
+        static_priors: None,
     }
 }
 

@@ -35,10 +35,14 @@ pub struct AllowEntry {
 
 impl AllowEntry {
     /// Does this entry cover an escape at `file`:`line` of type `name`?
+    /// Both sides are normalized first, so `./`-prefixed or `\`-separated
+    /// spellings match the same entries as the canonical form.
     pub fn covers(&self, file: &str, line: u32, name: &str) -> bool {
-        let path_ok = file == self.path
-            || (file.starts_with(&self.path)
-                && file.as_bytes().get(self.path.len()) == Some(&b'/'));
+        let file = crate::walk::normalize_rel(file);
+        let entry_path = crate::walk::normalize_rel(&self.path);
+        let path_ok = file == entry_path
+            || (file.starts_with(&entry_path)
+                && file.as_bytes().get(entry_path.len()) == Some(&b'/'));
         path_ok
             && self.line.is_none_or(|l| l == line)
             && self.name.as_deref().is_none_or(|n| n == name)
@@ -177,5 +181,16 @@ reason = "one line only"
     fn pathless_entries_are_dropped() {
         let al = Allowlist::parse("[[allow]]\nreason = \"no path\"\n");
         assert!(al.entries.is_empty());
+    }
+
+    #[test]
+    fn path_spellings_normalize_on_both_sides() {
+        let al = Allowlist::parse(SAMPLE);
+        assert!(al.allows("./crates/x/benches/b.rs", 1, "HashMap"));
+        assert!(al.allows("crates\\x\\benches\\b.rs", 1, "HashMap"));
+        let dotted = Allowlist::parse(
+            "[[allow]]\npath = \".\\\\crates\\\\y\"\nreason = \"windows spelling\"\n",
+        );
+        assert!(dotted.allows("crates/y/z.rs", 3, "HashMap"));
     }
 }

@@ -12,20 +12,34 @@
 //!   A bare `HashSet` with no import evidence is not flagged.
 //! - **Bindings** are tracked through `let x = Class::new()` /
 //!   `::unmonitored()` / `::with_*` and `let y = x.clone()` (wrapper
-//!   handles share storage, so a clone aliases its root). Bindings reset at
-//!   each `fn` item; fields (`self.map`) are not tracked.
+//!   handles share storage, so a clone aliases its root), plus
+//!   `Arc::clone(&x)` and constructor-returning helpers resolved through
+//!   [`Summaries`]. A shadowing `let` whose RHS is unrecognized *drops*
+//!   the old meaning instead of leaking it. Bindings reset at each `fn`
+//!   item; fields (`self.map`) are not tracked.
+//! - **Interprocedural flow**: a plain call `bump(&d1, 1)` whose callee is
+//!   summarized materializes the callee's wrapper accesses at the callee's
+//!   own site positions (what `#[track_caller]` reports), attributed to
+//!   the caller's binding. Each extra call hop weakens the pair's
+//!   confidence.
+//! - **Locksets**: `let g = m.lock()` guard regions (see
+//!   [`lockset`](crate::lockset)) annotate each site with the locks held.
+//!   A pair whose both sides hold an exclusive guard on the same lock is
+//!   *pruned* (serialized by construction); weaker evidence only demotes.
 //! - **Concurrency regions** are the parenthesized extents of
 //!   `spawn`/`spawn_fast`/`parallel_for_each`/`parallel_invoke` calls (plus
 //!   `.run`/`.run_with_hook` in files that mention `Task`). A region inside
 //!   a loop, or started by `parallel_for_each`/`parallel_invoke`, is
 //!   *multi-instance*: its body races with itself.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use tsvd_core::access::classify_op;
 use tsvd_core::OpKind;
 
+use crate::callgraph::{call_args, GuardMode, Summaries};
 use crate::lexer::{tokenize, TokKind, Token};
+use crate::lockset::LockTracker;
 use crate::report::{site_text, Escape, StaticPair, StaticSite};
 
 /// Raw (uninstrumented) collection type names worth flagging.
@@ -41,7 +55,7 @@ const RAW_TYPES: &[&str] = &[
 ];
 
 /// Idents that start a concurrency region when directly called.
-const SPAWN_CALLS: &[&str] = &[
+pub(crate) const SPAWN_CALLS: &[&str] = &[
     "spawn",
     "spawn_fast",
     "parallel_for_each",
@@ -49,7 +63,7 @@ const SPAWN_CALLS: &[&str] = &[
 ];
 
 /// Inherently multi-instance spawn calls: the closure runs once per item.
-const MULTI_SPAWN_CALLS: &[&str] = &["parallel_for_each", "parallel_invoke"];
+pub(crate) const MULTI_SPAWN_CALLS: &[&str] = &["parallel_for_each", "parallel_invoke"];
 
 /// Everything the analyzer learned about one file.
 #[derive(Debug, Default)]
@@ -60,11 +74,21 @@ pub struct FileAnalysis {
     pub sites: Vec<StaticSite>,
     /// Dangerous-pair candidates derived from the sites.
     pub pairs: Vec<StaticPair>,
+    /// Candidates removed by lockset pruning (reported, never armed).
+    pub pruned_pairs: Vec<StaticPair>,
 }
 
-/// Analyzes one file. `file` must be the analysis-root-relative path with
-/// forward slashes — it is embedded verbatim in site texts.
+/// Analyzes one file in isolation: a single-file summary set, so
+/// constructor returns and helper calls within the file still resolve.
 pub fn analyze_file(file: &str, src: &str) -> FileAnalysis {
+    let one = [(file.to_string(), src.to_string())];
+    analyze_file_with(file, src, &Summaries::build(&one))
+}
+
+/// Analyzes one file against a pre-built (usually whole-tree) summary set.
+/// `file` must be the analysis-root-relative path with forward slashes —
+/// it is embedded verbatim in site texts.
+pub fn analyze_file_with(file: &str, src: &str, summaries: &Summaries) -> FileAnalysis {
     let toks = tokenize(src);
     let evidence = concurrency_evidence(&toks);
     let imports = collect_imports(&toks);
@@ -73,9 +97,11 @@ pub fn analyze_file(file: &str, src: &str) -> FileAnalysis {
     if let Some(ev) = &evidence {
         out.escapes = find_escapes(file, &toks, &imports, &use_ranges, ev);
     }
-    let sites = find_sites(file, &toks, &imports);
-    out.pairs = derive_pairs(&sites.sites, &sites.regions);
-    out.sites = sites.sites.into_iter().map(|s| s.site).collect();
+    let pass = find_sites(file, &toks, &imports, summaries);
+    let derived = derive_pairs(&pass.sites, &pass.regions, &pass.channeled);
+    out.pairs = derived.kept;
+    out.pruned_pairs = derived.pruned;
+    out.sites = pass.sites.into_iter().map(|s| s.site).collect();
     out
 }
 
@@ -315,6 +341,11 @@ struct SiteCtx {
     region: u32,
     tok_index: usize,
     kind: OpKind,
+    /// Locks held at the site, strongest mode per root.
+    locks: Vec<(String, GuardMode)>,
+    /// Provenance distance: call hops between the binding's constructor
+    /// evidence (plus the op's own propagation depth) and the site.
+    hops: u32,
 }
 
 /// A concurrency region: one spawn-call extent.
@@ -331,6 +362,8 @@ struct SitePass {
     sites: Vec<SiteCtx>,
     /// Index 0 is the implicit top-level region.
     regions: Vec<Region>,
+    /// Receiver roots sent through an mpsc channel (ownership transfer).
+    channeled: HashSet<String>,
 }
 
 /// What a tracked binding denotes.
@@ -339,9 +372,17 @@ struct Binding {
     class: &'static str,
     /// The original binding an aliasing `.clone()` chain leads back to.
     root: String,
+    /// 0 for a lexical constructor; 1 when the class came from a
+    /// summarized helper's return type.
+    hops: u32,
 }
 
-fn find_sites(file: &str, toks: &[Token], imports: &HashMap<String, Import>) -> SitePass {
+fn find_sites(
+    file: &str,
+    toks: &[Token],
+    imports: &HashMap<String, Import>,
+    summaries: &Summaries,
+) -> SitePass {
     let file_has_task = toks.iter().any(|t| t.is_ident("Task"));
     let mut pass = SitePass::default();
     pass.regions.push(Region {
@@ -349,17 +390,25 @@ fn find_sites(file: &str, toks: &[Token], imports: &HashMap<String, Import>) -> 
         multi: false,
     });
     let mut bindings: HashMap<String, Binding> = HashMap::new();
+    let mut locks = LockTracker::new();
     // Paren stack entries: Some(region id) for spawn extents, None otherwise.
     let mut parens: Vec<Option<u32>> = Vec::new();
     // Brace stack entries: true for loop bodies.
     let mut braces: Vec<bool> = Vec::new();
     let mut pending_loop = false;
+    // One fresh region per (call token, callee file, callee region id), so
+    // every op a single call materializes from the same spawned task lands
+    // in the same region, while two calls get distinct regions.
+    let mut spawn_region_map: HashMap<(usize, String, u32), u32> = HashMap::new();
 
     for i in 0..toks.len() {
         let t = &toks[i];
         match t.kind {
             TokKind::Ident => match t.text.as_str() {
-                "fn" => bindings.clear(),
+                "fn" => {
+                    bindings.clear();
+                    locks.reset();
+                }
                 "for" | "while" | "loop" => {
                     // `impl Trait for Type` also uses `for`; a loop keyword
                     // in statement position follows a brace, semicolon, or
@@ -374,9 +423,16 @@ fn find_sites(file: &str, toks: &[Token], imports: &HashMap<String, Import>) -> 
                     }
                 }
                 "let" => {
-                    if let Some((name, binding)) = parse_let(toks, i, imports, &bindings) {
-                        bindings.insert(name, binding);
-                    }
+                    handle_let(
+                        toks,
+                        i,
+                        file,
+                        imports,
+                        summaries,
+                        &mut bindings,
+                        &mut locks,
+                        braces.len(),
+                    );
                 }
                 _ => {}
             },
@@ -407,7 +463,20 @@ fn find_sites(file: &str, toks: &[Token], imports: &HashMap<String, Import>) -> 
                                     region,
                                     tok_index: i,
                                     kind,
+                                    locks: locks.active(),
+                                    hops: b.hops,
                                 });
+                            }
+                        }
+                        // Channel transfer: `tx.send(x)` hands x's root to
+                        // whoever holds the receiver.
+                        if toks[i - 1].is_ident("send") && locks.is_sender(&toks[i - 3].text) {
+                            if let Some(root) = call_args(toks, i)
+                                .first()
+                                .and_then(|a| a.as_deref())
+                                .and_then(|a| bindings.get(a).map(|b| b.root.clone()))
+                            {
+                                pass.channeled.insert(root);
                             }
                         }
                     }
@@ -434,6 +503,70 @@ fn find_sites(file: &str, toks: &[Token], imports: &HashMap<String, Import>) -> 
                         });
                         parens.push(Some(id));
                     } else {
+                        // Interprocedural: a plain call to a summarized fn
+                        // materializes its wrapper accesses here.
+                        let after_path =
+                            i >= 2 && (toks[i - 2].is_punct('.') || toks[i - 2].is_punct(':'));
+                        if let Some(callee) = spawn_ident.filter(|_| !after_path) {
+                            if let Some(sum) = summaries.lookup(file, callee) {
+                                let argv = call_args(toks, i);
+                                let caller_region =
+                                    parens.iter().rev().find_map(|p| *p).unwrap_or(0);
+                                let in_loop = braces.iter().any(|&l| l);
+                                for op in &sum.ops {
+                                    let Some(Some(arg)) = argv.get(op.param) else {
+                                        continue;
+                                    };
+                                    let Some(b) = bindings.get(arg.as_str()) else {
+                                        continue;
+                                    };
+                                    if b.class != op.class {
+                                        continue;
+                                    }
+                                    let region = match op.spawned {
+                                        None => caller_region,
+                                        Some((rid, op_multi)) => {
+                                            let key = (i, op.file.clone(), rid);
+                                            *spawn_region_map.entry(key).or_insert_with(|| {
+                                                let id = pass.regions.len() as u32;
+                                                pass.regions.push(Region {
+                                                    start_tok: i,
+                                                    multi: op_multi || in_loop,
+                                                });
+                                                id
+                                            })
+                                        }
+                                    };
+                                    let mut site_locks = locks.active();
+                                    if let Some((q, mode)) = op.lock_param {
+                                        if let Some(root) = argv
+                                            .get(q)
+                                            .and_then(|a| a.as_deref())
+                                            .and_then(|a| locks.lock_root(a))
+                                        {
+                                            push_lock(&mut site_locks, root.to_string(), mode);
+                                        }
+                                    }
+                                    pass.sites.push(SiteCtx {
+                                        site: StaticSite {
+                                            file: op.file.clone(),
+                                            line: op.line,
+                                            column: op.col,
+                                            receiver: b.root.clone(),
+                                            class: op.class.to_string(),
+                                            method: op.method.clone(),
+                                            kind: kind_str(op.kind).to_string(),
+                                            region,
+                                        },
+                                        region,
+                                        tok_index: i,
+                                        kind: op.kind,
+                                        locks: site_locks,
+                                        hops: b.hops + op.hops + 1,
+                                    });
+                                }
+                            }
+                        }
                         parens.push(None);
                     }
                 }
@@ -445,6 +578,7 @@ fn find_sites(file: &str, toks: &[Token], imports: &HashMap<String, Import>) -> 
                 }
                 Some(b'}') => {
                     braces.pop();
+                    locks.on_close_brace(braces.len());
                 }
                 _ => {}
             },
@@ -454,8 +588,111 @@ fn find_sites(file: &str, toks: &[Token], imports: &HashMap<String, Import>) -> 
     pass
 }
 
+/// Adds a held lock, upgrading to exclusive when both modes appear.
+fn push_lock(locks: &mut Vec<(String, GuardMode)>, root: String, mode: GuardMode) {
+    match locks.iter_mut().find(|(r, _)| *r == root) {
+        Some((_, m)) => {
+            if mode == GuardMode::Exclusive {
+                *m = GuardMode::Exclusive;
+            }
+        }
+        None => locks.push((root, mode)),
+    }
+}
+
+/// Dispatches one `let` statement across the trackers, in priority order:
+/// wrapper binding (lexical ctor / clone), constructor-returning helper,
+/// lock machinery, and finally — crucially — *shadow removal*: a rebind
+/// whose RHS none of them recognize must not leak the old meaning.
+#[allow(clippy::too_many_arguments)]
+fn handle_let(
+    toks: &[Token],
+    let_idx: usize,
+    file: &str,
+    imports: &HashMap<String, Import>,
+    summaries: &Summaries,
+    bindings: &mut HashMap<String, Binding>,
+    locks: &mut LockTracker,
+    depth: usize,
+) {
+    if let Some((name, binding)) = parse_let(toks, let_idx, imports, bindings) {
+        locks.forget(&name);
+        bindings.insert(name, binding);
+        return;
+    }
+    if let Some((name, binding)) = parse_ctor_return(toks, let_idx, file, summaries) {
+        locks.forget(&name);
+        bindings.insert(name, binding);
+        return;
+    }
+    if locks.on_let(toks, let_idx, depth) {
+        if let Some(name) = single_let_name(toks, let_idx) {
+            bindings.remove(&name);
+        }
+        return;
+    }
+    if let Some(name) = single_let_name(toks, let_idx) {
+        bindings.remove(&name);
+        locks.forget(&name);
+    }
+}
+
+/// The name bound by `let [mut] NAME [: T] = ...`, `None` for tuple or
+/// value-less (`let x;`) forms.
+fn single_let_name(toks: &[Token], let_idx: usize) -> Option<String> {
+    let mut i = let_idx + 1;
+    if toks.get(i)?.is_ident("mut") {
+        i += 1;
+    }
+    let name = toks.get(i)?;
+    if name.kind != TokKind::Ident {
+        return None;
+    }
+    i += 1;
+    while i < toks.len() {
+        if toks[i].is_punct('=') {
+            return Some(name.text.clone());
+        }
+        if toks[i].is_punct(';') {
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Recognizes `let NAME = helper(...)` where `helper`'s summary declares a
+/// wrapper return class: constructor-return provenance, one hop out.
+fn parse_ctor_return(
+    toks: &[Token],
+    let_idx: usize,
+    file: &str,
+    summaries: &Summaries,
+) -> Option<(String, Binding)> {
+    let name = single_let_name(toks, let_idx)?;
+    let mut i = let_idx + 1;
+    while i < toks.len() && !toks[i].is_punct('=') {
+        i += 1;
+    }
+    i += 1;
+    let callee = toks.get(i)?;
+    if callee.kind != TokKind::Ident || !toks.get(i + 1)?.is_punct('(') {
+        return None;
+    }
+    let class = summaries.lookup(file, &callee.text)?.returns_class?;
+    Some((
+        name.clone(),
+        Binding {
+            class,
+            root: name,
+            hops: 1,
+        },
+    ))
+}
+
 /// Recognizes `let [mut] NAME = <path>::{new,unmonitored,with_*,from,default}(`
-/// for a wrapper class, and the aliasing form `let NAME = SRC.clone()`.
+/// for a wrapper class (also through an `Arc::new(..)` shell), and the
+/// aliasing forms `let NAME = SRC.clone()` and `let NAME = Arc::clone(&SRC)`.
 fn parse_let(
     toks: &[Token],
     let_idx: usize,
@@ -487,30 +724,53 @@ fn parse_let(
         let src = bindings.get(&toks[i].text)?;
         return Some((name.text.clone(), src.clone()));
     }
-    // Constructor path: collect `A::B::C` segments up to `(` or `<`.
-    let mut segs: Vec<&str> = Vec::new();
-    while i < toks.len() {
-        let t = &toks[i];
-        if t.kind == TokKind::Ident {
-            segs.push(&t.text);
-            i += 1;
-        } else if t.is_punct(':') {
-            i += 1;
-        } else if t.is_punct('<') {
-            // Skip a turbofish / generic argument list.
-            let mut depth = 1;
-            i += 1;
-            while i < toks.len() && depth > 0 {
-                if toks[i].is_punct('<') {
-                    depth += 1;
-                } else if toks[i].is_punct('>') {
-                    depth -= 1;
-                }
-                i += 1;
-            }
-        } else {
-            break;
+    // Aliasing `Arc::clone(&SRC)`.
+    if toks.get(i).is_some_and(|t| t.is_ident("Arc"))
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|t| t.is_ident("clone"))
+        && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+    {
+        let mut j = i + 5;
+        if toks.get(j).is_some_and(|t| t.is_punct('&')) {
+            j += 1;
         }
+        let src = bindings.get(&toks.get(j)?.text)?;
+        return Some((name.text.clone(), src.clone()));
+    }
+    // Constructor path: collect `A::B::C` segments up to `(` or `<`,
+    // unwrapping at most one `Arc::new(` shell.
+    let mut segs: Vec<&str> = Vec::new();
+    loop {
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.kind == TokKind::Ident {
+                segs.push(&t.text);
+                i += 1;
+            } else if t.is_punct(':') {
+                i += 1;
+            } else if t.is_punct('<') {
+                // Skip a turbofish / generic argument list.
+                let mut depth = 1;
+                i += 1;
+                while i < toks.len() && depth > 0 {
+                    if toks[i].is_punct('<') {
+                        depth += 1;
+                    } else if toks[i].is_punct('>') {
+                        depth -= 1;
+                    }
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        if segs == ["Arc", "new"] && toks.get(i).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            segs.clear();
+            continue;
+        }
+        break;
     }
     // The path must end in a constructor-ish name preceded by a class.
     let ctor = segs.pop()?;
@@ -541,6 +801,7 @@ fn parse_let(
         Binding {
             class,
             root: name.text.clone(),
+            hops: 0,
         },
     ))
 }
@@ -550,6 +811,13 @@ fn kind_str(kind: OpKind) -> &'static str {
         OpKind::Read => "read",
         OpKind::Write => "write",
     }
+}
+
+/// Pair candidates split by the lockset verdict.
+#[derive(Debug, Default)]
+struct DerivedPairs {
+    kept: Vec<StaticPair>,
+    pruned: Vec<StaticPair>,
 }
 
 /// Derives dangerous-pair candidates from the sites of one file.
@@ -562,8 +830,16 @@ fn kind_str(kind: OpKind) -> &'static str {
 ///   write site racing with its own other instances);
 /// - the top level can overlap any region whose spawn started lexically
 ///   earlier (the spawn has happened; the join may not have).
-fn derive_pairs(sites: &[SiteCtx], regions: &[Region]) -> Vec<StaticPair> {
-    let mut pairs: Vec<StaticPair> = Vec::new();
+///
+/// Each candidate is then graded: lockset evidence prunes (both sides
+/// exclusively guarded by the same lock) or demotes, provenance hops and
+/// region distance scale the confidence (see DESIGN.md for the formula).
+fn derive_pairs(
+    sites: &[SiteCtx],
+    regions: &[Region],
+    channeled: &HashSet<String>,
+) -> DerivedPairs {
+    let mut out = DerivedPairs::default();
     let mut seen: Vec<(String, String)> = Vec::new();
     for (ai, a) in sites.iter().enumerate() {
         for b in &sites[ai..] {
@@ -602,7 +878,20 @@ fn derive_pairs(sites: &[SiteCtx], regions: &[Region]) -> Vec<StaticPair> {
                 continue;
             }
             seen.push(key);
-            pairs.push(StaticPair {
+            let (guard, guard_factor, prune) = guard_evidence(a, b, channeled);
+            let hops = a.hops.max(b.hops);
+            let provenance = if hops == 0 {
+                "direct".to_string()
+            } else {
+                format!("via-calls:{hops}")
+            };
+            let confidence = if prune {
+                0.0
+            } else {
+                let distance = 1.0 / (1.0 + 0.1 * (ra as f64 - rb as f64).abs());
+                round4(reason_base(reason) * 0.85f64.powi(hops as i32) * guard_factor * distance)
+            };
+            let pair = StaticPair {
                 first,
                 second,
                 receiver: a.site.receiver.clone(),
@@ -610,10 +899,62 @@ fn derive_pairs(sites: &[SiteCtx], regions: &[Region]) -> Vec<StaticPair> {
                 first_op: format!("{}.{}", a.site.class, a.site.method),
                 second_op: format!("{}.{}", b.site.class, b.site.method),
                 reason: reason.to_string(),
-            });
+                confidence,
+                guard,
+                provenance,
+            };
+            if prune {
+                out.pruned.push(pair);
+            } else {
+                out.kept.push(pair);
+            }
         }
     }
-    pairs
+    out
+}
+
+/// Grades the lockset relation of two sites: `(label, factor, prune)`.
+fn guard_evidence(a: &SiteCtx, b: &SiteCtx, channeled: &HashSet<String>) -> (String, f64, bool) {
+    let mut shared = false;
+    for (root, ma) in &a.locks {
+        if let Some((_, mb)) = b.locks.iter().find(|(rb, _)| rb == root) {
+            if *ma == GuardMode::Shared && *mb == GuardMode::Shared {
+                // Two read guards do not exclude each other.
+                shared = true;
+            } else {
+                // An exclusive guard on a common lock serializes the pair.
+                return (format!("both-guarded:{root}"), 1.0, true);
+            }
+        }
+    }
+    if shared {
+        return ("shared-guard".to_string(), 1.0, false);
+    }
+    if a.locks.is_empty() != b.locks.is_empty() {
+        return ("one-side-guarded".to_string(), 1.0, false);
+    }
+    if !a.locks.is_empty() {
+        return ("inconsistent-locks".to_string(), 0.9, false);
+    }
+    if channeled.contains(&a.site.receiver) {
+        return ("channel-transfer".to_string(), 0.6, false);
+    }
+    ("none".to_string(), 1.0, false)
+}
+
+/// How strongly each overlap reason predicts a real race, before grading.
+fn reason_base(reason: &str) -> f64 {
+    match reason {
+        "cross-task" => 0.9,
+        "multi-instance-task" => 0.85,
+        _ => 0.75, // main-vs-spawned: the join often intervenes
+    }
+}
+
+/// Confidences are rounded to 4 decimals so they serialize compactly and
+/// compare exactly in tests.
+fn round4(x: f64) -> f64 {
+    (x * 1e4).round() / 1e4
 }
 
 /// Extracts the `(op name, kind)` literals from wrapper source: every
@@ -743,6 +1084,24 @@ fn f() {
     }
 
     #[test]
+    fn arc_new_and_arc_clone_track_like_plain_forms() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn f(pool: &Pool) {
+    let d = Arc::new(Dictionary::new());
+    let d1 = Arc::clone(&d);
+    pool.spawn(move || d1.set(1, 1));
+    pool.spawn(move || d.set(2, 2));
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 2);
+        assert!(fa.sites.iter().all(|s| s.receiver == "d"));
+        assert_eq!(fa.pairs.len(), 1);
+        assert_eq!(fa.pairs[0].reason, "cross-task");
+    }
+
+    #[test]
     fn cross_task_write_write_pair() {
         let src = r#"
 use tsvd_collections::Dictionary;
@@ -760,6 +1119,9 @@ fn f(pool: &Pool) {
         assert_eq!(fa.pairs.len(), 1);
         assert_eq!(fa.pairs[0].reason, "cross-task");
         assert_eq!(fa.pairs[0].first_op, "Dictionary.set");
+        assert_eq!(fa.pairs[0].confidence, 0.8182, "0.9 / 1.1, rounded");
+        assert_eq!(fa.pairs[0].guard, "none");
+        assert_eq!(fa.pairs[0].provenance, "direct");
     }
 
     #[test]
@@ -795,6 +1157,10 @@ fn f(pool: &Pool) {
         assert_eq!(fa.pairs.len(), 1);
         assert_eq!(fa.pairs[0].reason, "multi-instance-task");
         assert_eq!(fa.pairs[0].first, fa.pairs[0].second);
+        assert_eq!(
+            fa.pairs[0].confidence, 0.85,
+            "same region: no distance decay"
+        );
     }
 
     #[test]
@@ -910,6 +1276,238 @@ fn f(pool: &Pool) {
 "#;
         let fa = analyze_file("w.rs", src);
         assert!(fa.pairs.is_empty(), "impl-for must not mark multi-instance");
+    }
+
+    #[test]
+    fn shadowing_let_drops_the_stale_binding() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn f(pool: &Pool) {
+    let m = Dictionary::new();
+    let m = compute_input();
+    let m1 = m.clone();
+    pool.spawn(move || m1.set(1, 1));
+    pool.spawn(move || m.set(2, 2));
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert!(fa.sites.is_empty(), "rebound `m` is no longer a wrapper");
+        assert!(fa.pairs.is_empty());
+    }
+
+    #[test]
+    fn shadowing_let_switches_to_the_new_class() {
+        let src = r#"
+use tsvd_collections::{Dictionary, HashSet};
+fn f(pool: &Pool) {
+    let m = Dictionary::new();
+    let m = HashSet::new();
+    let m1 = m.clone();
+    pool.spawn(move || m1.add(1));
+    pool.spawn(move || m.add(2));
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 2);
+        assert!(fa.sites.iter().all(|s| s.class == "HashSet"));
+        assert_eq!(fa.pairs.len(), 1);
+        assert_eq!(fa.pairs[0].class, "HashSet");
+    }
+
+    #[test]
+    fn interprocedural_ops_attribute_to_the_caller_binding() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn bump(d: &Dictionary<u64, u64>, k: u64) {
+    d.set(k, k);
+}
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let d1 = d.clone();
+    let d2 = d.clone();
+    pool.spawn(move || bump(&d1, 1));
+    pool.spawn(move || bump(&d2, 2));
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 2, "one materialized site per call");
+        assert!(fa.sites.iter().all(|s| s.receiver == "d"));
+        assert_eq!(
+            (fa.sites[0].line, fa.sites[0].column),
+            (4, 7),
+            "callee's `set`"
+        );
+        assert_eq!(fa.pairs.len(), 1);
+        let p = &fa.pairs[0];
+        assert_eq!(p.reason, "cross-task");
+        assert_eq!(p.first, p.second, "both calls hit the same callee site");
+        assert_eq!(p.provenance, "via-calls:1");
+        assert_eq!(p.confidence, 0.6955, "0.9 * 0.85 / 1.1, rounded");
+    }
+
+    #[test]
+    fn ctor_return_tracks_provenance() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn fresh() -> Dictionary<u64, u64> {
+    Dictionary::new()
+}
+fn f(pool: &Pool) {
+    let d = fresh();
+    let d1 = d.clone();
+    pool.spawn(move || d1.set(1, 1));
+    d.set(2, 2);
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 2);
+        assert_eq!(fa.pairs.len(), 1);
+        let p = &fa.pairs[0];
+        assert_eq!(p.reason, "main-vs-spawned");
+        assert_eq!(p.provenance, "via-calls:1");
+        assert_eq!(p.confidence, 0.5795, "0.75 * 0.85 / 1.1, rounded");
+    }
+
+    #[test]
+    fn both_sides_guarded_pair_is_pruned() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+use tsvd_tasks::sync::TsvdMutex;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let m = TsvdMutex::new(0);
+    let d1 = d.clone();
+    let m1 = m.clone();
+    let d2 = d.clone();
+    let m2 = m.clone();
+    pool.spawn(move || { let g = m1.lock(); d1.set(1, 1); });
+    pool.spawn(move || { let g = m2.lock(); d2.set(2, 2); });
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.sites.len(), 2);
+        assert!(
+            fa.pairs.is_empty(),
+            "consistently locked pair is serialized"
+        );
+        assert_eq!(fa.pruned_pairs.len(), 1);
+        let p = &fa.pruned_pairs[0];
+        assert_eq!(p.guard, "both-guarded:m");
+        assert_eq!(p.confidence, 0.0);
+        assert_eq!(p.reason, "cross-task");
+    }
+
+    #[test]
+    fn one_side_guarded_pair_is_kept() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+use tsvd_tasks::sync::TsvdMutex;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let m = TsvdMutex::new(0);
+    let d1 = d.clone();
+    let m1 = m.clone();
+    let d2 = d.clone();
+    pool.spawn(move || { let g = m1.lock(); d1.set(1, 1); });
+    pool.spawn(move || d2.set(2, 2));
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.pairs.len(), 1);
+        assert!(fa.pruned_pairs.is_empty());
+        assert_eq!(fa.pairs[0].guard, "one-side-guarded");
+        assert_eq!(
+            fa.pairs[0].confidence, 0.8182,
+            "no demotion: the race stands"
+        );
+    }
+
+    #[test]
+    fn disjoint_locks_demote_but_keep() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+use tsvd_tasks::sync::TsvdMutex;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let m = TsvdMutex::new(0);
+    let n = TsvdMutex::new(0);
+    let d1 = d.clone();
+    let m1 = m.clone();
+    let d2 = d.clone();
+    let n1 = n.clone();
+    pool.spawn(move || { let g = m1.lock(); d1.set(1, 1); });
+    pool.spawn(move || { let g = n1.lock(); d2.set(2, 2); });
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.pairs.len(), 1);
+        assert_eq!(fa.pairs[0].guard, "inconsistent-locks");
+        assert_eq!(fa.pairs[0].confidence, 0.7364, "0.9 * 0.9 / 1.1, rounded");
+    }
+
+    #[test]
+    fn shared_read_guards_do_not_prune() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let m = RwLock::new(0);
+    let d1 = d.clone();
+    let m1 = m.clone();
+    let d2 = d.clone();
+    let m2 = m.clone();
+    pool.spawn(move || { let g = m1.read(); d1.set(1, 1); });
+    pool.spawn(move || { let g = m2.read(); d2.set(2, 2); });
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.pairs.len(), 1, "read guards do not exclude each other");
+        assert!(fa.pruned_pairs.is_empty());
+        assert_eq!(fa.pairs[0].guard, "shared-guard");
+        assert_eq!(fa.pairs[0].confidence, 0.8182);
+    }
+
+    #[test]
+    fn guard_scope_ends_with_its_block() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+use tsvd_tasks::sync::TsvdMutex;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let m = TsvdMutex::new(0);
+    let d1 = d.clone();
+    let m1 = m.clone();
+    pool.spawn(move || {
+        { let g = m1.lock(); }
+        d1.set(1, 1);
+    });
+    d.set(2, 2);
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.pairs.len(), 1);
+        assert_eq!(fa.pairs[0].guard, "none", "guard died before the site");
+    }
+
+    #[test]
+    fn channel_transfer_demotes_the_pair() {
+        let src = r#"
+use tsvd_collections::Dictionary;
+fn f(pool: &Pool) {
+    let d = Dictionary::new();
+    let (tx, rx) = mpsc::channel();
+    let d1 = d.clone();
+    pool.spawn(move || d1.set(1, 1));
+    tx.send(d.clone());
+    d.set(2, 2);
+}
+"#;
+        let fa = analyze_file("w.rs", src);
+        assert_eq!(fa.pairs.len(), 1);
+        let p = &fa.pairs[0];
+        assert_eq!(p.reason, "main-vs-spawned");
+        assert_eq!(p.guard, "channel-transfer");
+        assert_eq!(p.confidence, 0.4091, "0.75 * 0.6 / 1.1, rounded");
     }
 
     #[test]

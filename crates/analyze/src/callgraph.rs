@@ -1,0 +1,806 @@
+//! Per-crate call graph and function summaries: the interprocedural layer.
+//!
+//! The line-level pass in [`analysis`](crate::analysis) only sees receivers
+//! whose constructor is lexically in scope. Real code moves shared handles
+//! through helpers — `fn bump(d: &Dictionary<u64, u64>, k: u64)` — and the
+//! provenance would die at the call boundary. This module summarizes every
+//! `fn` item once (which wrapper-typed parameters it touches, how, and
+//! under which locks; what wrapper class it returns; whom it calls) and
+//! closes the summaries transitively, so a call site with a tracked
+//! argument can materialize the callee's accesses as if they were inlined.
+//!
+//! Same token-level spirit as the rest of the crate: summaries are
+//! heuristic, bounded (the fixed point caps at [`MAX_HOPS`] call-graph
+//! hops), and resolve callees by bare name — same file first, then a
+//! unique global match; ambiguous names are skipped rather than guessed.
+
+use std::collections::HashMap;
+
+use tsvd_core::access::classify_op;
+use tsvd_core::OpKind;
+
+use crate::analysis::{MULTI_SPAWN_CALLS, SPAWN_CALLS};
+use crate::lexer::{tokenize, TokKind, Token};
+
+/// Synchronization wrapper type names recognized in parameter positions.
+pub const LOCK_TYPES: &[&str] = &["Mutex", "RwLock", "TsvdMutex"];
+
+/// Transitive-propagation cap: ops further than this many call hops from a
+/// summarized function are dropped (their provenance grade would be noise
+/// anyway — see the confidence formula in DESIGN.md).
+pub const MAX_HOPS: u32 = 8;
+
+/// How a guard serializes its critical section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardMode {
+    /// `lock()` / `write()`: mutual exclusion with every other guard.
+    Exclusive,
+    /// `read()`: excludes writers only.
+    Shared,
+}
+
+/// One declared parameter of a summarized function.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Declared parameter name.
+    pub name: String,
+    /// Instrumented-collection class when the type annotation names one
+    /// (through `&`, `&mut`, `Arc<...>`); `None` otherwise.
+    pub class: Option<&'static str>,
+    /// Whether the type annotation names a lock wrapper.
+    pub lock: bool,
+}
+
+/// One access a function performs (directly or transitively) on one of its
+/// wrapper-typed parameters.
+#[derive(Debug, Clone)]
+pub struct ParamOp {
+    /// Index of the accessed parameter in [`FnSummary::params`].
+    pub param: usize,
+    /// The parameter's collection class at the op (callee's declaration).
+    pub class: &'static str,
+    /// Method name at the access site.
+    pub method: String,
+    /// Read or write, per the shared API table.
+    pub kind: OpKind,
+    /// Where the access happens — the *callee's* file and the method
+    /// ident's position, i.e. exactly what `#[track_caller]` reports when
+    /// the wrapper executes.
+    pub file: String,
+    /// 1-based line of the method ident.
+    pub line: u32,
+    /// 1-based column of the method ident.
+    pub col: u32,
+    /// `Some((callee-local region id, multi))` when the op runs inside a
+    /// task the summarized function itself spawns.
+    pub spawned: Option<(u32, bool)>,
+    /// Lock-typed parameter whose guard is held at the op, with its mode.
+    pub lock_param: Option<(usize, GuardMode)>,
+    /// Call hops between the summarized fn and the op (0 = own body).
+    pub hops: u32,
+}
+
+/// One outgoing call with its bare-ident argument names by position
+/// (`None` for arguments too complex to name).
+#[derive(Debug, Clone)]
+pub struct CallEdge {
+    /// Bare callee name.
+    pub callee: String,
+    /// Argument names by position.
+    pub args: Vec<Option<String>>,
+}
+
+/// Everything the interprocedural layer knows about one `fn` item.
+#[derive(Debug, Clone, Default)]
+pub struct FnSummary {
+    /// File the `fn` item lives in (root-relative, forward slashes).
+    pub file: String,
+    /// Bare function name.
+    pub name: String,
+    /// Declared parameters, in order.
+    pub params: Vec<Param>,
+    /// Wrapper class of the return type, if any: `let d = make_dict();`
+    /// gives `d` this class (constructor-return provenance).
+    pub returns_class: Option<&'static str>,
+    /// Accesses to wrapper-typed parameters, own body and propagated.
+    pub ops: Vec<ParamOp>,
+    /// Outgoing calls with bare-ident arguments.
+    pub calls: Vec<CallEdge>,
+}
+
+/// All function summaries of one analysis run, indexed by bare name.
+#[derive(Debug, Default)]
+pub struct Summaries {
+    by_name: HashMap<String, Vec<FnSummary>>,
+}
+
+impl Summaries {
+    /// Builds and transitively closes summaries over `(file, source)`
+    /// pairs. `file` must be the same root-relative forward-slash path the
+    /// per-file analysis uses — it is embedded in materialized sites.
+    pub fn build(files: &[(String, String)]) -> Self {
+        let mut by_name: HashMap<String, Vec<FnSummary>> = HashMap::new();
+        for (file, src) in files {
+            let toks = tokenize(src);
+            let mut i = 0;
+            while i < toks.len() {
+                if toks[i].is_ident("fn")
+                    && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                {
+                    if let Some((summary, next)) = parse_fn(file, &toks, i) {
+                        by_name
+                            .entry(summary.name.clone())
+                            .or_default()
+                            .push(summary);
+                        i = next;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+        }
+        let mut s = Summaries { by_name };
+        s.propagate();
+        s
+    }
+
+    /// Resolves a bare callee name from `file`: a unique same-file match
+    /// first, then a unique global one. Ambiguity resolves to `None` — a
+    /// wrong summary is worse than no summary.
+    pub fn lookup(&self, file: &str, name: &str) -> Option<&FnSummary> {
+        let all = self.by_name.get(name)?;
+        let mut same_file = all.iter().filter(|s| s.file == file);
+        if let (Some(s), None) = (same_file.next(), same_file.next()) {
+            return Some(s);
+        }
+        if let [only] = all.as_slice() {
+            return Some(only);
+        }
+        None
+    }
+
+    /// Number of summarized functions (tests / stats).
+    pub fn len(&self) -> usize {
+        self.by_name.values().map(Vec::len).sum()
+    }
+
+    /// Whether no function was summarized.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+
+    /// Transitive closure: a call passing my parameter onward inherits the
+    /// callee's ops on it, one hop further out. Bounded fixed point —
+    /// recursion and cycles converge because the (param, site) dedupe key
+    /// stops re-insertion and hops cap at [`MAX_HOPS`].
+    fn propagate(&mut self) {
+        for _round in 0..MAX_HOPS {
+            let snapshot = self.by_name.clone();
+            let mut changed = false;
+            for summaries in self.by_name.values_mut() {
+                for summary in summaries.iter_mut() {
+                    let calls = summary.calls.clone();
+                    for call in &calls {
+                        let resolved = lookup_in(&snapshot, &summary.file, &call.callee);
+                        let Some(callee) = resolved else {
+                            continue;
+                        };
+                        for op in &callee.ops {
+                            if op.hops + 1 > MAX_HOPS {
+                                continue;
+                            }
+                            let Some(arg) = call.args.get(op.param).and_then(|a| a.as_deref())
+                            else {
+                                continue;
+                            };
+                            let Some(pidx) = summary.params.iter().position(|p| p.name == arg)
+                            else {
+                                continue;
+                            };
+                            if summary.params[pidx].class != Some(op.class) {
+                                continue;
+                            }
+                            let lock_param = op.lock_param.and_then(|(q, mode)| {
+                                let lock_arg = call.args.get(q)?.as_deref()?;
+                                let lp = summary
+                                    .params
+                                    .iter()
+                                    .position(|p| p.name == lock_arg && p.lock)?;
+                                Some((lp, mode))
+                            });
+                            let dup = summary.ops.iter().any(|o| {
+                                o.param == pidx
+                                    && o.file == op.file
+                                    && o.line == op.line
+                                    && o.col == op.col
+                            });
+                            if dup {
+                                continue;
+                            }
+                            summary.ops.push(ParamOp {
+                                param: pidx,
+                                lock_param,
+                                hops: op.hops + 1,
+                                ..op.clone()
+                            });
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+}
+
+/// Non-borrowing variant of [`Summaries::lookup`] for the propagation loop.
+fn lookup_in<'a>(
+    by_name: &'a HashMap<String, Vec<FnSummary>>,
+    file: &str,
+    name: &str,
+) -> Option<&'a FnSummary> {
+    let all = by_name.get(name)?;
+    let mut same_file = all.iter().filter(|s| s.file == file);
+    if let (Some(s), None) = (same_file.next(), same_file.next()) {
+        return Some(s);
+    }
+    if let [only] = all.as_slice() {
+        return Some(only);
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open`.
+pub(crate) fn matching_paren(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Wrapper class named by a type-annotation token run, if any. `std` or
+/// `raw` segments disqualify — those are the uninstrumented types the
+/// escape lint exists for, not provenance.
+fn type_class(toks: &[Token]) -> Option<&'static str> {
+    if toks.iter().any(|t| t.is_ident("std") || t.is_ident("raw")) {
+        return None;
+    }
+    toks.iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .find_map(|t| {
+            tsvd_core::access::api_classes()
+                .into_iter()
+                .find(|c| *c == t.text)
+        })
+}
+
+fn type_is_lock(toks: &[Token]) -> bool {
+    toks.iter()
+        .any(|t| t.kind == TokKind::Ident && LOCK_TYPES.contains(&t.text.as_str()))
+}
+
+/// Parses the parameter list between (exclusive) the fn's parens.
+fn parse_params(toks: &[Token]) -> Vec<Param> {
+    let mut params = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut slices: Vec<&[Token]> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('<') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct('>') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            slices.push(&toks[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < toks.len() {
+        slices.push(&toks[start..]);
+    }
+    for slice in slices {
+        // `self` receivers carry no usable name or annotation.
+        let colon = slice.iter().position(|t| t.is_punct(':'));
+        let Some(colon) = colon else { continue };
+        let name = slice[..colon]
+            .iter()
+            .rev()
+            .find(|t| t.kind == TokKind::Ident && t.text != "mut");
+        let Some(name) = name else { continue };
+        let ty = &slice[colon + 1..];
+        params.push(Param {
+            name: name.text.clone(),
+            class: type_class(ty),
+            lock: type_is_lock(ty),
+        });
+    }
+    params
+}
+
+/// Bare-ident argument names by position inside the call parens at `open`.
+pub(crate) fn call_args(toks: &[Token], open: usize) -> Vec<Option<String>> {
+    let Some(close) = matching_paren(toks, open) else {
+        return Vec::new();
+    };
+    let inner = &toks[open + 1..close];
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let push = |slice: &[Token], args: &mut Vec<Option<String>>| {
+        if !slice.is_empty() {
+            args.push(bare_arg_name(slice));
+        }
+    };
+    for (i, t) in inner.iter().enumerate() {
+        if t.is_punct('(') || t.is_punct('<') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct('>') || t.is_punct(']') || t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            push(&inner[start..i], &mut args);
+            start = i + 1;
+        }
+    }
+    push(&inner[start..], &mut args);
+    args
+}
+
+/// The single binding name an argument expression denotes, when it is one
+/// of the aliasing-preserving shapes: `x`, `&x`, `&mut x`, `x.clone()`,
+/// `&x.clone()`, `Arc::clone(&x)`.
+fn bare_arg_name(toks: &[Token]) -> Option<String> {
+    let idents: Vec<&Token> = toks.iter().filter(|t| t.kind == TokKind::Ident).collect();
+    match idents.as_slice() {
+        [x] if toks.len() <= 3 => Some(x.text.clone()),
+        [x, m] if m.is_ident("clone") => Some(x.text.clone()),
+        [m, x] if m.is_ident("mut") => Some(x.text.clone()),
+        [a, c, x] if a.is_ident("Arc") && c.is_ident("clone") => Some(x.text.clone()),
+        _ => None,
+    }
+}
+
+/// Parses one `fn` item starting at `fn_idx`; returns the summary and the
+/// token index scanning should resume from (just inside the body, so
+/// nested items are discovered by the outer scan).
+fn parse_fn(file: &str, toks: &[Token], fn_idx: usize) -> Option<(FnSummary, usize)> {
+    let name = toks.get(fn_idx + 1)?.text.clone();
+    let mut i = fn_idx + 2;
+    if toks.get(i)?.is_punct('<') {
+        let mut depth = 1usize;
+        i += 1;
+        while i < toks.len() && depth > 0 {
+            if toks[i].is_punct('<') {
+                depth += 1;
+            } else if toks[i].is_punct('>') {
+                depth -= 1;
+            }
+            i += 1;
+        }
+    }
+    if !toks.get(i)?.is_punct('(') {
+        return None;
+    }
+    let params_open = i;
+    let params_close = matching_paren(toks, params_open)?;
+    let params = parse_params(&toks[params_open + 1..params_close]);
+
+    i = params_close + 1;
+    let mut ret_start = None;
+    let mut ret_end = None;
+    while i < toks.len() && !toks[i].is_punct('{') {
+        if toks[i].is_punct(';') {
+            // Trait-method declaration: signature only, no body.
+            let summary = FnSummary {
+                file: file.to_string(),
+                name,
+                params,
+                ..FnSummary::default()
+            };
+            return Some((summary, i + 1));
+        }
+        // Only the first arrow before any `where` is the return type; a
+        // later `->` belongs to a closure bound (`where F: Fn() -> T`).
+        if toks[i].is_punct('-')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('>'))
+            && ret_start.is_none()
+            && ret_end.is_none()
+        {
+            ret_start = Some(i + 2);
+        }
+        if toks[i].is_ident("where") && ret_end.is_none() {
+            ret_end = Some(i);
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return None;
+    }
+    let body_open = i;
+    let returns_class = ret_start
+        .map(|s| (s, ret_end.unwrap_or(body_open)))
+        .filter(|&(s, e)| s <= e)
+        .and_then(|(s, e)| type_class(&toks[s..e]));
+    let body_close = matching_brace(toks, body_open)?;
+
+    let mut summary = FnSummary {
+        file: file.to_string(),
+        name,
+        params,
+        returns_class,
+        ops: Vec::new(),
+        calls: Vec::new(),
+    };
+    summarize_body(&mut summary, toks, body_open, body_close);
+    Some((summary, body_open + 1))
+}
+
+/// Rust keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "move", "in", "as", "else",
+];
+
+/// Fills `ops` and `calls` from the body extent `(body_open, body_close)`.
+fn summarize_body(summary: &mut FnSummary, toks: &[Token], body_open: usize, body_close: usize) {
+    let param_idx: HashMap<&str, usize> = summary
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.name.as_str(), i))
+        .collect();
+
+    // Same region machinery as the per-file pass, scoped to this body.
+    let mut regions: Vec<bool> = Vec::new(); // region id -> multi
+    let mut parens: Vec<Option<u32>> = Vec::new();
+    let mut braces: Vec<bool> = Vec::new();
+    let mut pending_loop = false;
+    // Active param-lock guards: (brace depth at creation, param, mode).
+    let mut guards: Vec<(usize, usize, GuardMode)> = Vec::new();
+
+    let mut i = body_open + 1;
+    while i < body_close {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                // Nested items get their own summary from the outer scan;
+                // attributing their body to this fn would be wrong.
+                "fn" => {
+                    let mut j = i + 1;
+                    while j < body_close && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                        j += 1;
+                    }
+                    if j < body_close && toks[j].is_punct('{') {
+                        if let Some(close) = matching_brace(toks, j) {
+                            i = close + 1;
+                            continue;
+                        }
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                "for" | "while" | "loop" => {
+                    let stmt_pos = i == body_open + 1
+                        || matches!(&toks[i - 1], p if p.is_punct('{')
+                            || p.is_punct('}')
+                            || p.is_punct(';')
+                            || p.is_punct(')'));
+                    if stmt_pos {
+                        pending_loop = true;
+                    }
+                }
+                "let" => {
+                    if let Some((param, mode)) = parse_param_guard(toks, i, &param_idx) {
+                        guards.push((braces.len(), param, mode));
+                    }
+                }
+                _ => {}
+            },
+            TokKind::Punct => match t.text.as_bytes().first() {
+                Some(b'(') => {
+                    // Param access: `p . method (`.
+                    if i >= 3
+                        && toks[i - 1].kind == TokKind::Ident
+                        && toks[i - 2].is_punct('.')
+                        && toks[i - 3].kind == TokKind::Ident
+                    {
+                        if let Some(&pidx) = param_idx.get(toks[i - 3].text.as_str()) {
+                            if let Some(class) = summary.params[pidx].class {
+                                let method = &toks[i - 1];
+                                let op = format!("{class}.{}", method.text);
+                                if let Some(kind) = classify_op(&op) {
+                                    let spawned = parens
+                                        .iter()
+                                        .rev()
+                                        .find_map(|p| *p)
+                                        .map(|id| (id, regions[id as usize]));
+                                    let lock_param = guards.last().map(|&(_, p, m)| (p, m));
+                                    summary.ops.push(ParamOp {
+                                        param: pidx,
+                                        class,
+                                        method: method.text.clone(),
+                                        kind,
+                                        file: summary.file.clone(),
+                                        line: method.line,
+                                        col: method.col,
+                                        spawned,
+                                        lock_param,
+                                        hops: 0,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    // Spawn extents and plain calls.
+                    let prev_ident = toks
+                        .get(i.wrapping_sub(1))
+                        .filter(|p| p.kind == TokKind::Ident)
+                        .map(|p| p.text.as_str());
+                    let after_path =
+                        i >= 2 && (toks[i - 2].is_punct('.') || toks[i - 2].is_punct(':'));
+                    let is_spawn = prev_ident.is_some_and(|s| SPAWN_CALLS.contains(&s));
+                    if is_spawn {
+                        let in_loop = braces.iter().any(|&l| l);
+                        let multi =
+                            in_loop || prev_ident.is_some_and(|s| MULTI_SPAWN_CALLS.contains(&s));
+                        let id = regions.len() as u32;
+                        regions.push(multi);
+                        parens.push(Some(id));
+                    } else {
+                        if let Some(callee) = prev_ident {
+                            if !after_path && !CALL_KEYWORDS.contains(&callee) {
+                                summary.calls.push(CallEdge {
+                                    callee: callee.to_string(),
+                                    args: call_args(toks, i),
+                                });
+                            }
+                        }
+                        parens.push(None);
+                    }
+                }
+                Some(b')') => {
+                    parens.pop();
+                }
+                Some(b'{') => {
+                    braces.push(std::mem::take(&mut pending_loop));
+                }
+                Some(b'}') => {
+                    braces.pop();
+                    guards.retain(|&(depth, _, _)| depth <= braces.len());
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Recognizes `let [mut] g = P.lock()/read()/write()` (optionally
+/// `.unwrap()` / `.expect(..)`) where `P` is a lock-typed parameter.
+fn parse_param_guard(
+    toks: &[Token],
+    let_idx: usize,
+    param_idx: &HashMap<&str, usize>,
+) -> Option<(usize, GuardMode)> {
+    let mut i = let_idx + 1;
+    if toks.get(i)?.is_ident("mut") {
+        i += 1;
+    }
+    if toks.get(i)?.kind != TokKind::Ident {
+        return None;
+    }
+    i += 1;
+    while i < toks.len() && !toks[i].is_punct('=') {
+        if toks[i].is_punct(';') {
+            return None;
+        }
+        i += 1;
+    }
+    i += 1;
+    let recv = toks.get(i)?;
+    if recv.kind != TokKind::Ident || !toks.get(i + 1)?.is_punct('.') {
+        return None;
+    }
+    let method = toks.get(i + 2)?;
+    let mode = match method.text.as_str() {
+        "lock" | "write" => GuardMode::Exclusive,
+        "read" => GuardMode::Shared,
+        _ => return None,
+    };
+    if !toks.get(i + 3)?.is_punct('(') {
+        return None;
+    }
+    let pidx = *param_idx.get(recv.text.as_str())?;
+    Some((pidx, mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_one(src: &str) -> Summaries {
+        Summaries::build(&[("a.rs".to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn wrapper_param_op_is_summarized() {
+        let s = build_one("fn bump(d: &Dictionary<u64, u64>, k: u64) {\n    d.set(k, k);\n}\n");
+        let f = s.lookup("a.rs", "bump").expect("summary");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].class, Some("Dictionary"));
+        assert_eq!(f.params[1].class, None);
+        assert_eq!(f.ops.len(), 1);
+        let op = &f.ops[0];
+        assert_eq!((op.param, op.method.as_str()), (0, "set"));
+        assert_eq!(op.kind, OpKind::Write);
+        assert_eq!((op.line, op.col), (2, 7), "method-ident position");
+        assert_eq!(op.hops, 0);
+        assert!(op.spawned.is_none());
+    }
+
+    #[test]
+    fn closure_bound_arrow_in_where_clause_does_not_invert_the_return_span() {
+        // The `->` inside the `where` clause comes after the recorded
+        // return-type end; it must not be mistaken for the return arrow
+        // (this shape used to panic with an inverted slice).
+        let s = build_one(
+            "fn run<F, T>(f: F) -> T\nwhere\n    F: FnOnce() -> T,\n{\n    f()\n}\n\
+             fn make() -> Dictionary<u64, u64>\nwhere\n    u64: Copy,\n{\n    Dictionary::new()\n}\n",
+        );
+        let run = s.lookup("a.rs", "run").expect("run summary");
+        assert_eq!(run.returns_class, None, "generic T is not a collection");
+        let make = s.lookup("a.rs", "make").expect("make summary");
+        assert_eq!(make.returns_class, Some("Dictionary"));
+    }
+
+    #[test]
+    fn std_typed_param_is_not_classified() {
+        let s = build_one("fn f(m: &std::collections::HashMap<u32, u32>) { m.insert(1, 1); }");
+        let f = s.lookup("a.rs", "f").expect("summary");
+        assert_eq!(f.params[0].class, None);
+        assert!(f.ops.is_empty());
+    }
+
+    #[test]
+    fn return_class_from_annotation() {
+        let s = build_one(
+            "fn fresh() -> Dictionary<u64, u64> { Dictionary::new() }\nfn unit() -> u32 { 0 }\n",
+        );
+        assert_eq!(
+            s.lookup("a.rs", "fresh").unwrap().returns_class,
+            Some("Dictionary")
+        );
+        assert_eq!(s.lookup("a.rs", "unit").unwrap().returns_class, None);
+    }
+
+    #[test]
+    fn transitive_ops_cross_one_call() {
+        let s = build_one(
+            "fn inner(d: &Dictionary<u64, u64>) { d.set(1, 1); }\n\
+             fn outer(q: &Dictionary<u64, u64>) { inner(q); }\n",
+        );
+        let outer = s.lookup("a.rs", "outer").expect("summary");
+        assert_eq!(outer.ops.len(), 1, "inner's op propagates to outer");
+        assert_eq!(outer.ops[0].hops, 1);
+        assert_eq!(outer.ops[0].line, 1, "site stays at inner's body");
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let s = build_one("fn f(d: &Dictionary<u64, u64>) { d.set(1, 1); f(d); }");
+        let f = s.lookup("a.rs", "f").expect("summary");
+        // Self-recursion re-offers the same (param, site); dedupe holds.
+        assert_eq!(f.ops.len(), 1);
+    }
+
+    #[test]
+    fn param_lock_guard_is_recorded_and_translated() {
+        let s = build_one(
+            "fn locked(d: &Dictionary<u64, u64>, m: &TsvdMutex<u32>) {\n\
+             \x20   let g = m.lock();\n\
+             \x20   d.set(1, 1);\n\
+             }\n\
+             fn relay(a: &Dictionary<u64, u64>, b: &TsvdMutex<u32>) { locked(a, b); }\n",
+        );
+        let locked = s.lookup("a.rs", "locked").expect("summary");
+        assert_eq!(locked.ops[0].lock_param, Some((1, GuardMode::Exclusive)));
+        let relay = s.lookup("a.rs", "relay").expect("summary");
+        assert_eq!(relay.ops.len(), 1);
+        assert_eq!(
+            relay.ops[0].lock_param,
+            Some((1, GuardMode::Exclusive)),
+            "lock provenance survives the hop through matching args"
+        );
+    }
+
+    #[test]
+    fn guard_dies_at_block_end() {
+        let s = build_one(
+            "fn f(d: &Dictionary<u64, u64>, m: &TsvdMutex<u32>) {\n\
+             \x20   { let g = m.lock(); d.set(1, 1); }\n\
+             \x20   d.set(2, 2);\n\
+             }\n",
+        );
+        let f = s.lookup("a.rs", "f").expect("summary");
+        assert_eq!(f.ops.len(), 2);
+        assert!(f.ops[0].lock_param.is_some());
+        assert!(
+            f.ops[1].lock_param.is_none(),
+            "guard dropped with its block"
+        );
+    }
+
+    #[test]
+    fn spawned_op_inside_callee_is_tagged() {
+        let s = build_one(
+            "fn f(d: &Dictionary<u64, u64>, pool: &Pool) {\n\
+             \x20   pool.spawn(move || d.set(1, 1));\n\
+             }\n",
+        );
+        let f = s.lookup("a.rs", "f").expect("summary");
+        assert_eq!(f.ops.len(), 1);
+        assert_eq!(f.ops[0].spawned, Some((0, false)));
+    }
+
+    #[test]
+    fn ambiguous_names_resolve_to_none() {
+        let s = Summaries::build(&[
+            (
+                "a.rs".to_string(),
+                "fn dup(d: &Dictionary<u64, u64>) { d.set(1, 1); }".to_string(),
+            ),
+            (
+                "b.rs".to_string(),
+                "fn dup(d: &Dictionary<u64, u64>) { d.get(&1); }".to_string(),
+            ),
+        ]);
+        assert!(
+            s.lookup("c.rs", "dup").is_none(),
+            "two candidates, no guess"
+        );
+        assert!(s.lookup("a.rs", "dup").is_some(), "same file disambiguates");
+    }
+
+    #[test]
+    fn nested_fn_bodies_are_not_attributed_to_the_outer_fn() {
+        let s = build_one(
+            "fn outer(d: &Dictionary<u64, u64>) {\n\
+             \x20   fn helper(d: &Dictionary<u64, u64>) { d.set(9, 9); }\n\
+             \x20   d.get(&1);\n\
+             }\n",
+        );
+        let outer = s.lookup("a.rs", "outer").expect("summary");
+        // outer's direct ops: only its own `get`; helper's set belongs to
+        // helper (and is not called, so it never propagates).
+        assert_eq!(outer.ops.len(), 1);
+        assert_eq!(outer.ops[0].method, "get");
+        let helper = s.lookup("a.rs", "helper").expect("nested summary");
+        assert_eq!(helper.ops.len(), 1);
+        assert_eq!(helper.ops[0].method, "set");
+    }
+}

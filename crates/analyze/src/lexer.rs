@@ -335,6 +335,33 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_nested_in_macro_invocations() {
+        // The raw string lives inside a macro call, surrounded by macro
+        // punctuation; its quotes and inner `d.add` must not leak tokens.
+        let src = "write!(out, r#\"d.add(1) \"quoted\" end\"#).unwrap(); tail";
+        assert_eq!(idents(src), vec!["write", "out", "unwrap", "tail"]);
+        let s = tokenize(src)
+            .into_iter()
+            .find(|t| t.kind == TokKind::Str)
+            .expect("raw string literal");
+        assert!(s.text.contains("\"quoted\""));
+        // Multi-hash raw strings terminate on the matching hash count, not
+        // the first `"#` inside.
+        let src2 = "a r##\"one \"# two\"## b";
+        assert_eq!(idents(src2), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn doubly_nested_block_comments() {
+        let src = "a /* one /* two /* three */ still */ still */ b";
+        assert_eq!(idents(src), vec!["a", "b"]);
+        // An unterminated inner comment swallows the rest of the file
+        // without panicking.
+        let src2 = "a /* open /* never closed";
+        assert_eq!(idents(src2), vec!["a"]);
+    }
+
+    #[test]
     fn op_name_string_content_is_captured() {
         let toks = tokenize(r#"self.inner.write(site, "Dictionary.add", |m| m)"#);
         let s = toks

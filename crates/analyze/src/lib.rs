@@ -17,13 +17,17 @@
 //!    the *same* API table the wrappers consult at run time
 //!    ([`tsvd_core::access::API_TABLE`]), with columns matching what
 //!    `#[track_caller]` records so static and dynamic sites intern to the
-//!    same [`tsvd_core::SiteId`]s.
+//!    same [`tsvd_core::SiteId`]s. Receiver provenance survives helper
+//!    calls through per-crate function summaries ([`callgraph`]).
 //! 3. **Dangerous-pair candidates**: conflicting accesses to one shared
-//!    receiver reachable from different tasks, emitted in trap-file format
-//!    with [`tsvd_core::PairOrigin::Static`] so the runtime can arm traps
+//!    receiver reachable from different tasks, graded with a confidence in
+//!    `(0, 1]` (provenance hops, lockset evidence, task-region distance —
+//!    see [`lockset`] and DESIGN.md) and emitted in trap-file format with
+//!    [`tsvd_core::PairOrigin::Static`] so the runtime can arm traps
 //!    before the *first* dynamic run — the static analogue of §3.4.6's
 //!    cross-run trap persistence, removing the warm-up run entirely for
-//!    pairs the analyzer predicts.
+//!    pairs the analyzer predicts. Pairs whose both sides are consistently
+//!    protected by the same exclusive guard are pruned before emission.
 //!
 //! [`Runtime::on_call`]: tsvd_core::Runtime::on_call
 
@@ -31,15 +35,20 @@
 
 pub mod allowlist;
 pub mod analysis;
+pub mod callgraph;
 pub mod lexer;
+pub mod lockset;
 pub mod report;
+pub mod score;
 pub mod walk;
 
+use std::collections::HashSet;
 use std::io;
 use std::path::Path;
 
 pub use allowlist::{AllowEntry, Allowlist};
-pub use analysis::{analyze_file, instrumented_op_literals, FileAnalysis};
+pub use analysis::{analyze_file, analyze_file_with, instrumented_op_literals, FileAnalysis};
+pub use callgraph::Summaries;
 pub use report::{AnalysisReport, Escape, StaticPair, StaticSite};
 
 /// Analyzes every `.rs` file under `root` (skipping `target/`, `vendor/`,
@@ -51,22 +60,64 @@ pub fn analyze_workspace(root: &Path) -> io::Result<AnalysisReport> {
     analyze_paths(root, &rels)
 }
 
-/// Analyzes an explicit list of `root`-relative files. Unreadable files
-/// are skipped rather than failing the whole run — one unparseable path
-/// must not hide every other finding.
+/// Analyzes an explicit list of `root`-relative files. Unreadable or
+/// non-UTF-8 files become per-file warnings (and count as skipped) rather
+/// than failing the whole run — one unparseable path must not hide every
+/// other finding.
 pub fn analyze_paths(root: &Path, files: &[String]) -> io::Result<AnalysisReport> {
     let mut report = AnalysisReport::default();
+    // Normalize and dedupe first: the same file reachable under two walk
+    // roots (or spelled `./a.rs` vs `a.rs`, `a\b.rs` vs `a/b.rs`) must
+    // analyze once, not emit duplicate pairs.
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for rel in files {
-        let Ok(src) = std::fs::read_to_string(root.join(rel)) else {
+        let rel = walk::normalize_rel(rel);
+        if !seen.insert(rel.clone()) {
             continue;
-        };
+        }
+        match std::fs::read_to_string(root.join(&rel)) {
+            Ok(src) => sources.push((rel, src)),
+            Err(err) => {
+                report.files_skipped += 1;
+                report.warnings.push(format!("{rel}: {err}"));
+            }
+        }
+    }
+    // Whole-tree function summaries before any per-file pass, so helper
+    // calls resolve across files of the same crate.
+    let summaries = Summaries::build(&sources);
+    for (rel, src) in &sources {
         report.files_scanned += 1;
-        let fa = analysis::analyze_file(rel, &src);
+        let fa = analysis::analyze_file_with(rel, src, &summaries);
         report.escapes.extend(fa.escapes);
         report.sites.extend(fa.sites);
         report.pairs.extend(fa.pairs);
+        report.pruned_pairs.extend(fa.pruned_pairs);
     }
+    dedupe_pairs(&mut report.pairs);
+    dedupe_pairs(&mut report.pruned_pairs);
     Ok(report)
+}
+
+/// Collapses duplicate `(first, second)` site pairs, keeping the highest
+/// confidence (the strongest evidence wins when two paths found the pair).
+fn dedupe_pairs(pairs: &mut Vec<StaticPair>) {
+    let mut best: Vec<StaticPair> = Vec::new();
+    for p in pairs.drain(..) {
+        match best
+            .iter_mut()
+            .find(|q| q.first == p.first && q.second == p.second)
+        {
+            Some(q) => {
+                if p.confidence > q.confidence {
+                    *q = p;
+                }
+            }
+            None => best.push(p),
+        }
+    }
+    *pairs = best;
 }
 
 #[cfg(test)]
@@ -98,12 +149,66 @@ fn main() {
         .expect("write");
         let report = analyze_workspace(&dir).expect("analyze");
         assert_eq!(report.files_scanned, 1);
+        assert_eq!(report.files_skipped, 0);
+        assert!(report.warnings.is_empty());
         assert_eq!(report.escapes.len(), 1);
         assert_eq!(report.escapes[0].file, "src/main.rs");
         assert_eq!(report.sites.len(), 2);
         assert_eq!(report.pairs.len(), 1);
         let tf = report.to_trap_file();
         assert_eq!(tf.count_origin(tsvd_core::PairOrigin::Static), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_path_spellings_analyze_once() {
+        let dir = std::env::temp_dir().join(format!("tsvd_analyze_dup_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("src")).expect("mkdir");
+        std::fs::write(
+            dir.join("src/lib.rs"),
+            "use tsvd_collections::Dictionary;\n\
+             fn f(pool: &Pool) {\n\
+                 let d = Dictionary::new();\n\
+                 let d1 = d.clone();\n\
+                 pool.spawn(move || d1.set(1, 1));\n\
+                 d.set(2, 2);\n\
+             }\n",
+        )
+        .expect("write");
+        let report = analyze_paths(
+            &dir,
+            &[
+                "src/lib.rs".to_string(),
+                "./src/lib.rs".to_string(),
+                "src\\lib.rs".to_string(),
+            ],
+        )
+        .expect("analyze");
+        assert_eq!(report.files_scanned, 1, "three spellings, one file");
+        assert_eq!(report.pairs.len(), 1, "no duplicate pair");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unreadable_files_warn_instead_of_failing() {
+        let dir = std::env::temp_dir().join(format!("tsvd_analyze_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("ok.rs"), "fn f() {}\n").expect("write");
+        std::fs::write(dir.join("bad.rs"), [0xffu8, 0xfe, 0x00, 0x9f]).expect("write");
+        let report = analyze_paths(
+            &dir,
+            &[
+                "ok.rs".to_string(),
+                "bad.rs".to_string(),
+                "missing.rs".to_string(),
+            ],
+        )
+        .expect("analyze must not abort");
+        assert_eq!(report.files_scanned, 1);
+        assert_eq!(report.files_skipped, 2, "non-UTF-8 and missing");
+        assert_eq!(report.warnings.len(), 2);
+        assert!(report.warnings.iter().any(|w| w.starts_with("bad.rs:")));
+        assert!(report.warnings.iter().any(|w| w.starts_with("missing.rs:")));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

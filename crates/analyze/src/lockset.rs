@@ -1,0 +1,323 @@
+//! Lockset/guard analysis: which critical sections protect which sites.
+//!
+//! Tracks, per function, three things the pair deriver consumes:
+//!
+//! - **Lock bindings**: `let m = TsvdMutex::new(..)` (also `Mutex`,
+//!   `RwLock`, through `Arc::new(..)`), plus the aliasing forms
+//!   `let m2 = m.clone()` and `let m2 = Arc::clone(&m)` — a clone guards
+//!   the same lock, so clones resolve to their root.
+//! - **Guard regions**: `let g = m.lock()` / `.write()` (exclusive) /
+//!   `.read()` (shared), live until the enclosing block closes. Only
+//!   `let`-bound guards create a region; a temporary like
+//!   `m.lock().push(x)` guards a single expression and is deliberately
+//!   ignored (it cannot span two sites, so it never changes a verdict).
+//! - **Channels**: `let (tx, rx) = channel()` registers the sender;
+//!   `tx.send(x)` marks `x`'s root as channel-transferred, which *demotes*
+//!   (not prunes) pairs on that receiver — ownership transfer usually
+//!   serializes, but the receiver may still alias.
+
+use std::collections::{HashMap, HashSet};
+
+pub use crate::callgraph::GuardMode;
+use crate::callgraph::LOCK_TYPES;
+use crate::lexer::{TokKind, Token};
+
+/// One active guard region.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    /// Root lock binding the guard came from.
+    pub root: String,
+    /// Exclusive or shared.
+    pub mode: GuardMode,
+    /// Brace depth at the `let`; the guard dies when that block closes.
+    depth: usize,
+}
+
+/// Per-function lock/guard/channel state, driven by the site pass.
+#[derive(Debug, Default)]
+pub struct LockTracker {
+    /// Lock binding name → root lock name.
+    locks: HashMap<String, String>,
+    guards: Vec<Guard>,
+    /// Registered mpsc sender binding names.
+    senders: HashSet<String>,
+}
+
+impl LockTracker {
+    /// A fresh tracker with nothing held.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears everything; called at each `fn` item boundary.
+    pub fn reset(&mut self) {
+        self.locks.clear();
+        self.guards.clear();
+        self.senders.clear();
+    }
+
+    /// The locks currently held, strongest mode per root.
+    pub fn active(&self) -> Vec<(String, GuardMode)> {
+        let mut out: Vec<(String, GuardMode)> = Vec::new();
+        for g in &self.guards {
+            match out.iter_mut().find(|(root, _)| *root == g.root) {
+                Some((_, mode)) => {
+                    if g.mode == GuardMode::Exclusive {
+                        *mode = GuardMode::Exclusive;
+                    }
+                }
+                None => out.push((g.root.clone(), g.mode)),
+            }
+        }
+        out
+    }
+
+    /// Root lock name for a binding, if it is a tracked lock.
+    pub fn lock_root(&self, name: &str) -> Option<&str> {
+        self.locks.get(name).map(String::as_str)
+    }
+
+    /// Whether `name` is a registered channel sender.
+    pub fn is_sender(&self, name: &str) -> bool {
+        self.senders.contains(name)
+    }
+
+    /// Drops guards whose block has closed; `depth` is the brace depth
+    /// *after* the closing `}` was popped.
+    pub fn on_close_brace(&mut self, depth: usize) {
+        self.guards.retain(|g| g.depth <= depth);
+    }
+
+    /// Removes a rebound name (shadowing `let` with an untracked RHS).
+    pub fn forget(&mut self, name: &str) {
+        self.locks.remove(name);
+        self.senders.remove(name);
+    }
+
+    /// Inspects a `let` statement at `let_idx`; returns `true` when it was
+    /// lock-relevant (lock constructor, lock alias, guard, or channel) and
+    /// was consumed. `depth` is the current brace depth.
+    pub fn on_let(&mut self, toks: &[Token], let_idx: usize, depth: usize) -> bool {
+        let mut i = let_idx + 1;
+        let Some(first) = toks.get(i) else {
+            return false;
+        };
+        // Tuple pattern: only the channel form is tracked.
+        if first.is_punct('(') {
+            return self.on_channel_let(toks, i);
+        }
+        if first.is_ident("mut") {
+            i += 1;
+        }
+        let Some(name_tok) = toks.get(i) else {
+            return false;
+        };
+        if name_tok.kind != TokKind::Ident {
+            return false;
+        }
+        let name = name_tok.text.clone();
+        i += 1;
+        while i < toks.len() && !toks[i].is_punct('=') {
+            if toks[i].is_punct(';') {
+                return false;
+            }
+            i += 1;
+        }
+        i += 1; // past `=`
+
+        // Guard: `RECV.lock()/read()/write()` on a tracked lock.
+        if let Some((root, mode)) = self.parse_guard_rhs(toks, i) {
+            self.guards.push(Guard { root, mode, depth });
+            // The guard binding itself shadows whatever held the name.
+            self.forget(&name);
+            return true;
+        }
+        // Alias: `SRC.clone()` or `Arc::clone(&SRC)` of a tracked lock.
+        if let Some(root) = self.parse_alias_rhs(toks, i) {
+            self.locks.insert(name, root);
+            return true;
+        }
+        // Constructor: a lock type's ctor anywhere in the RHS head —
+        // `TsvdMutex::new(..)`, `Arc::new(Mutex::new(..))`.
+        if rhs_is_lock_ctor(toks, i) {
+            self.locks.insert(name.clone(), name);
+            return true;
+        }
+        false
+    }
+
+    fn parse_guard_rhs(&self, toks: &[Token], i: usize) -> Option<(String, GuardMode)> {
+        let recv = toks.get(i)?;
+        if recv.kind != TokKind::Ident || !toks.get(i + 1)?.is_punct('.') {
+            return None;
+        }
+        let mode = match toks.get(i + 2)?.text.as_str() {
+            "lock" | "write" => GuardMode::Exclusive,
+            "read" => GuardMode::Shared,
+            _ => return None,
+        };
+        if !toks.get(i + 3)?.is_punct('(') {
+            return None;
+        }
+        let root = self.locks.get(&recv.text)?.clone();
+        Some((root, mode))
+    }
+
+    fn parse_alias_rhs(&self, toks: &[Token], i: usize) -> Option<String> {
+        // `SRC.clone()`
+        if toks.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("clone"))
+        {
+            return self.locks.get(&toks[i].text).cloned();
+        }
+        // `Arc::clone(&SRC)`
+        if toks.get(i).is_some_and(|t| t.is_ident("Arc"))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("clone"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('))
+        {
+            let mut j = i + 5;
+            if toks.get(j).is_some_and(|t| t.is_punct('&')) {
+                j += 1;
+            }
+            let src = toks.get(j)?;
+            return self.locks.get(&src.text).cloned();
+        }
+        None
+    }
+
+    /// `let (tx, rx) = [mpsc::]channel()` — registers `tx` as a sender.
+    fn on_channel_let(&mut self, toks: &[Token], open_idx: usize) -> bool {
+        let tx = toks.get(open_idx + 1);
+        let comma = toks.get(open_idx + 2);
+        let rx = toks.get(open_idx + 3);
+        let close = toks.get(open_idx + 4);
+        let (Some(tx), Some(comma), Some(rx), Some(close)) = (tx, comma, rx, close) else {
+            return false;
+        };
+        if tx.kind != TokKind::Ident
+            || !comma.is_punct(',')
+            || rx.kind != TokKind::Ident
+            || !close.is_punct(')')
+        {
+            return false;
+        }
+        // RHS must call `channel(` before the statement ends.
+        let mut i = open_idx + 5;
+        while i < toks.len() && !toks[i].is_punct(';') {
+            if toks[i].is_ident("channel") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                self.senders.insert(tx.text.clone());
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+}
+
+/// Whether the RHS head (from `i` to the statement end) constructs a lock:
+/// a lock type name followed by `::ctor(`, possibly inside `Arc::new(..)`.
+fn rhs_is_lock_ctor(toks: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j < toks.len() && !toks[j].is_punct(';') {
+        if toks[j].kind == TokKind::Ident
+            && LOCK_TYPES.contains(&toks[j].text.as_str())
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn let_indices(toks: &[Token]) -> Vec<usize> {
+        toks.iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("let"))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn ctor_alias_and_guard_chain() {
+        let toks = tokenize(
+            "let m = TsvdMutex::new(0);\n\
+             let m2 = m.clone();\n\
+             let g = m2.lock();\n",
+        );
+        let mut lt = LockTracker::new();
+        for idx in let_indices(&toks) {
+            assert!(lt.on_let(&toks, idx, 0));
+        }
+        assert_eq!(lt.lock_root("m2"), Some("m"), "clone aliases the root");
+        let active = lt.active();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0], ("m".to_string(), GuardMode::Exclusive));
+    }
+
+    #[test]
+    fn arc_wrapped_ctor_and_arc_clone() {
+        let toks = tokenize(
+            "let m = Arc::new(Mutex::new(0));\n\
+             let m2 = Arc::clone(&m);\n\
+             let g = m2.read();\n",
+        );
+        let mut lt = LockTracker::new();
+        for idx in let_indices(&toks) {
+            assert!(lt.on_let(&toks, idx, 0));
+        }
+        assert_eq!(lt.active(), vec![("m".to_string(), GuardMode::Shared)]);
+    }
+
+    #[test]
+    fn guard_dies_with_its_block() {
+        let toks = tokenize("let m = TsvdMutex::new(0); let g = m.lock();");
+        let mut lt = LockTracker::new();
+        let lets = let_indices(&toks);
+        lt.on_let(&toks, lets[0], 0);
+        lt.on_let(&toks, lets[1], 2); // guard taken two blocks deep
+        assert_eq!(lt.active().len(), 1);
+        lt.on_close_brace(1); // inner block closed
+        assert!(lt.active().is_empty());
+    }
+
+    #[test]
+    fn non_lock_lets_are_not_consumed() {
+        let toks = tokenize("let d = Dictionary::new(); let x = 5;");
+        let mut lt = LockTracker::new();
+        for idx in let_indices(&toks) {
+            assert!(!lt.on_let(&toks, idx, 0));
+        }
+        assert!(lt.active().is_empty());
+    }
+
+    #[test]
+    fn channel_sender_is_registered() {
+        let toks = tokenize("let (tx, rx) = mpsc::channel(); let y = 1;");
+        let mut lt = LockTracker::new();
+        let lets = let_indices(&toks);
+        assert!(lt.on_let(&toks, lets[0], 0));
+        assert!(!lt.on_let(&toks, lets[1], 0));
+        assert!(lt.is_sender("tx"));
+        assert!(!lt.is_sender("rx"));
+    }
+
+    #[test]
+    fn exclusive_beats_shared_on_the_same_root() {
+        let toks = tokenize("let m = RwLock::new(0); let a = m.read(); let b = m.write();");
+        let mut lt = LockTracker::new();
+        for idx in let_indices(&toks) {
+            lt.on_let(&toks, idx, 0);
+        }
+        assert_eq!(lt.active(), vec![("m".to_string(), GuardMode::Exclusive)]);
+    }
+}

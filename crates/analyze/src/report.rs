@@ -62,7 +62,7 @@ impl StaticSite {
 }
 
 /// A statically predicted dangerous pair, in trap-file site syntax.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StaticPair {
     /// First site (`file:line:column`).
     pub first: String,
@@ -79,6 +79,48 @@ pub struct StaticPair {
     /// Why the pair can overlap: `cross-task`, `multi-instance-task`, or
     /// `main-vs-spawned`.
     pub reason: String,
+    /// Analysis confidence in (0, 1] (0.0 on pruned pairs): base(reason) ×
+    /// provenance × guard-evidence × region-distance, rounded to 4
+    /// decimals. See DESIGN.md for the formula.
+    #[serde(default = "default_confidence")]
+    pub confidence: f64,
+    /// Guard evidence: `none`, `one-side-guarded`, `shared-guard`,
+    /// `inconsistent-locks`, `channel-transfer`, or `both-guarded:<lock>`
+    /// (pruned pairs only).
+    #[serde(default = "default_guard")]
+    pub guard: String,
+    /// Receiver provenance: `direct` or `via-calls:<hops>`.
+    #[serde(default = "default_provenance")]
+    pub provenance: String,
+}
+
+fn default_confidence() -> f64 {
+    1.0
+}
+
+fn default_guard() -> String {
+    "none".to_string()
+}
+
+fn default_provenance() -> String {
+    "direct".to_string()
+}
+
+impl Default for StaticPair {
+    fn default() -> Self {
+        StaticPair {
+            first: String::new(),
+            second: String::new(),
+            receiver: String::new(),
+            class: String::new(),
+            first_op: String::new(),
+            second_op: String::new(),
+            reason: String::new(),
+            confidence: default_confidence(),
+            guard: default_guard(),
+            provenance: default_provenance(),
+        }
+    }
 }
 
 /// The full analyzer output for one tree.
@@ -86,12 +128,23 @@ pub struct StaticPair {
 pub struct AnalysisReport {
     /// How many `.rs` files were scanned.
     pub files_scanned: u32,
+    /// Files that could not be read (unreadable, non-UTF-8); each carries
+    /// a matching entry in [`warnings`](Self::warnings).
+    #[serde(default)]
+    pub files_skipped: u32,
+    /// Per-file warnings accumulated during the walk.
+    #[serde(default)]
+    pub warnings: Vec<String>,
     /// Escape-lint findings (allowlisted ones included, flagged).
     pub escapes: Vec<Escape>,
     /// The static site database.
     pub sites: Vec<StaticSite>,
-    /// Dangerous-pair candidates.
+    /// Dangerous-pair candidates surviving lockset pruning.
     pub pairs: Vec<StaticPair>,
+    /// Candidates the lockset analysis pruned (both sides consistently
+    /// behind the same guard); kept for the precision scoreboard.
+    #[serde(default)]
+    pub pruned_pairs: Vec<StaticPair>,
 }
 
 impl AnalysisReport {
@@ -114,7 +167,7 @@ impl AnalysisReport {
         for p in &self.pairs {
             let pair = (p.first.clone(), p.second.clone());
             if !data.pairs.contains(&pair) {
-                data.push(pair, PairOrigin::Static);
+                data.push_with_confidence(pair, PairOrigin::Static, p.confidence);
             }
         }
         data
@@ -134,7 +187,25 @@ impl AnalysisReport {
         );
         summary.insert("sites".to_string(), Value::UInt(self.sites.len() as u64));
         summary.insert("pairs".to_string(), Value::UInt(self.pairs.len() as u64));
+        summary.insert(
+            "pruned_pairs".to_string(),
+            Value::UInt(self.pruned_pairs.len() as u64),
+        );
+        summary.insert(
+            "files_skipped".to_string(),
+            Value::UInt(u64::from(self.files_skipped)),
+        );
+        summary.insert(
+            "warnings".to_string(),
+            Value::UInt(self.warnings.len() as u64),
+        );
         lines.push(Value::Object(summary));
+        for w in &self.warnings {
+            let mut map = BTreeMap::new();
+            map.insert("record".to_string(), Value::Str("warning".to_string()));
+            map.insert("message".to_string(), Value::Str(w.clone()));
+            lines.push(Value::Object(map));
+        }
         for e in &self.escapes {
             lines.push(tag("escape", e.to_value()));
         }
@@ -143,6 +214,9 @@ impl AnalysisReport {
         }
         for p in &self.pairs {
             lines.push(tag("pair", p.to_value()));
+        }
+        for p in &self.pruned_pairs {
+            lines.push(tag("pruned_pair", p.to_value()));
         }
         let mut out = String::new();
         for v in lines {
@@ -157,13 +231,19 @@ impl AnalysisReport {
         let mut out = String::new();
         let blocked = self.unallowlisted_escapes();
         out.push_str(&format!(
-            "tsvd-analyze: {} files, {} instrumented sites, {} pair candidates, {} escapes ({} blocking)\n",
+            "tsvd-analyze: {} files ({} skipped), {} instrumented sites, \
+             {} pair candidates ({} pruned by lockset), {} escapes ({} blocking)\n",
             self.files_scanned,
+            self.files_skipped,
             self.sites.len(),
             self.pairs.len(),
+            self.pruned_pairs.len(),
             self.escapes.len(),
             blocked.len(),
         ));
+        for w in &self.warnings {
+            out.push_str(&format!("  warning: {w}\n"));
+        }
         for e in &self.escapes {
             out.push_str(&format!(
                 "  {}{}:{}: raw `{}` via {} ({})\n",
@@ -177,8 +257,22 @@ impl AnalysisReport {
         }
         for p in &self.pairs {
             out.push_str(&format!(
-                "  pair: {} <-> {} on `{}` [{} / {}] ({})\n",
-                p.first, p.second, p.receiver, p.first_op, p.second_op, p.reason,
+                "  pair: {} <-> {} on `{}` [{} / {}] ({}, conf {:.4}, guard {}, {})\n",
+                p.first,
+                p.second,
+                p.receiver,
+                p.first_op,
+                p.second_op,
+                p.reason,
+                p.confidence,
+                p.guard,
+                p.provenance,
+            ));
+        }
+        for p in &self.pruned_pairs {
+            out.push_str(&format!(
+                "  pruned: {} <-> {} on `{}` ({})\n",
+                p.first, p.second, p.receiver, p.guard,
             ));
         }
         out
@@ -206,6 +300,9 @@ mod tests {
     fn sample() -> AnalysisReport {
         AnalysisReport {
             files_scanned: 2,
+            files_skipped: 0,
+            warnings: Vec::new(),
+            pruned_pairs: Vec::new(),
             escapes: vec![Escape {
                 file: "a.rs".into(),
                 line: 3,
@@ -232,8 +329,31 @@ mod tests {
                 first_op: "Dictionary.set".into(),
                 second_op: "Dictionary.set".into(),
                 reason: "cross-task".into(),
+                confidence: 0.8182,
+                ..StaticPair::default()
             }],
         }
+    }
+
+    #[test]
+    fn trap_file_carries_pair_confidence() {
+        let tf = sample().to_trap_file();
+        assert!((tf.confidence(0) - 0.8182).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_without_grading_fields_deserializes_with_defaults() {
+        // A PR-3 JSONL pair record has no confidence/guard/provenance.
+        let v: Value = serde_json::from_str(
+            r#"{"first": "a.rs:1:1", "second": "a.rs:2:2", "receiver": "d",
+                "class": "Dictionary", "first_op": "Dictionary.set",
+                "second_op": "Dictionary.set", "reason": "cross-task"}"#,
+        )
+        .expect("json");
+        let p = <StaticPair as Deserialize>::from_value(&v).expect("deserialize");
+        assert!((p.confidence - 1.0).abs() < 1e-9);
+        assert_eq!(p.guard, "none");
+        assert_eq!(p.provenance, "direct");
     }
 
     #[test]

@@ -51,6 +51,19 @@ pub fn to_forward_slashes(path: &Path) -> String {
     s
 }
 
+/// Normalizes a relative path spelling to the canonical report shape:
+/// backslashes become `/`, duplicate separators collapse, and leading or
+/// embedded `./` segments are dropped. `./a\b.rs`, `a/./b.rs`, and
+/// `a/b.rs` all normalize to `a/b.rs`, so allowlist matching and file
+/// dedup are insensitive to how the caller spelled the path.
+pub fn normalize_rel(path: &str) -> String {
+    path.replace('\\', "/")
+        .split('/')
+        .filter(|seg| !seg.is_empty() && *seg != ".")
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +96,14 @@ mod tests {
             vec![PathBuf::from("a/one.rs"), PathBuf::from("b/two.rs")]
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn normalize_rel_canonicalizes_spellings() {
+        assert_eq!(normalize_rel("a/b.rs"), "a/b.rs");
+        assert_eq!(normalize_rel("./a/b.rs"), "a/b.rs");
+        assert_eq!(normalize_rel("a\\b.rs"), "a/b.rs");
+        assert_eq!(normalize_rel(".\\a\\.\\b.rs"), "a/b.rs");
+        assert_eq!(normalize_rel("a//b.rs"), "a/b.rs");
     }
 }

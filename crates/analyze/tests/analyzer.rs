@@ -6,6 +6,7 @@
 
 use std::path::{Path, PathBuf};
 
+use tsvd_analyze::score::{load_candidates, load_outcomes, score, Baseline};
 use tsvd_analyze::{analyze_workspace, Allowlist};
 use tsvd_core::PairOrigin;
 
@@ -16,7 +17,9 @@ fn fixtures_root() -> PathBuf {
 #[test]
 fn fixture_counts_are_exact() {
     let report = analyze_workspace(&fixtures_root()).expect("analyze fixtures");
-    assert_eq!(report.files_scanned, 3);
+    assert_eq!(report.files_scanned, 7);
+    assert_eq!(report.files_skipped, 0);
+    assert!(report.warnings.is_empty());
 
     // Two raw escapes: the std HashMap and the allowlisted VecDeque.
     assert_eq!(report.escapes.len(), 2);
@@ -36,32 +39,40 @@ fn fixture_counts_are_exact() {
     assert_eq!(vecdeque.file, "allowlisted_raw.rs");
     assert_eq!(vecdeque.line, 6);
 
-    // Four instrumented sites, all in shared_map.rs, columns on the
-    // method ident (the #[track_caller] convention).
-    assert_eq!(report.sites.len(), 4);
+    // Twelve instrumented sites, columns on the method ident (the
+    // #[track_caller] convention). The two helper_flow.rs sites share one
+    // location — both spawns route through the same `bump` helper — and
+    // shadowed.rs contributes only the pre-rebind write.
     let site_texts: Vec<String> = report.sites.iter().map(|s| s.site_text()).collect();
     assert_eq!(
         site_texts,
         vec![
-            "shared_map.rs:9:26",  // a.set
-            "shared_map.rs:11:11", // b.set
-            "shared_map.rs:12:11", // b.get
-            "shared_map.rs:14:12", // shared.len
+            "guarded.rs:15:12",      // t1.set under l1.lock()
+            "guarded.rs:19:12",      // t2.set under l2.lock()
+            "guarded.rs:20:12",      // t2.get under l2.lock()
+            "half_guarded.rs:14:12", // t1.set under l1.lock()
+            "half_guarded.rs:17:12", // t2.set, unguarded
+            "helper_flow.rs:6:7",    // bump's d.set, via spawn #1
+            "helper_flow.rs:6:7",    // bump's d.set, via spawn #2
+            "shadowed.rs:7:9",       // log.set before the shadowing rebind
+            "shared_map.rs:9:26",    // a.set
+            "shared_map.rs:11:11",   // b.set
+            "shared_map.rs:12:11",   // b.get
+            "shared_map.rs:14:12",   // shared.len
         ]
     );
-    assert!(report.sites.iter().all(|s| s.receiver == "shared"));
-    assert_eq!(report.sites.iter().filter(|s| s.kind == "write").count(), 2);
+    assert_eq!(report.sites.iter().filter(|s| s.kind == "write").count(), 9);
 
-    // Pairs: set x set and set x get across the two tasks, plus both
-    // writes against the main thread's post-spawn len().
-    assert_eq!(report.pairs.len(), 4);
+    // Kept pairs: shared_map's four, half_guarded's one-side-guarded
+    // write-write, and helper_flow's interprocedural self-pair.
+    assert_eq!(report.pairs.len(), 6);
     assert_eq!(
         report
             .pairs
             .iter()
             .filter(|p| p.reason == "cross-task")
             .count(),
-        2
+        4
     );
     assert_eq!(
         report
@@ -74,10 +85,76 @@ fn fixture_counts_are_exact() {
     let ww = report
         .pairs
         .iter()
-        .find(|p| p.first_op == "Dictionary.set" && p.second_op == "Dictionary.set")
+        .find(|p| p.first == "shared_map.rs:9:26" && p.second == "shared_map.rs:11:11")
         .expect("write-write pair");
-    assert_eq!(ww.first, "shared_map.rs:9:26");
-    assert_eq!(ww.second, "shared_map.rs:11:11");
+    assert_eq!(ww.first_op, "Dictionary.set");
+    assert_eq!(ww.second_op, "Dictionary.set");
+    assert_eq!(ww.confidence, 0.8182);
+    assert_eq!(ww.guard, "none");
+    assert_eq!(ww.provenance, "direct");
+
+    let half = report
+        .pairs
+        .iter()
+        .find(|p| p.first.starts_with("half_guarded.rs"))
+        .expect("one-side-guarded pair");
+    assert_eq!(half.guard, "one-side-guarded");
+    assert_eq!(half.confidence, 0.8182);
+
+    let helper = report
+        .pairs
+        .iter()
+        .find(|p| p.first.starts_with("helper_flow.rs"))
+        .expect("interprocedural pair");
+    assert_eq!(helper.first, "helper_flow.rs:6:7");
+    assert_eq!(helper.second, "helper_flow.rs:6:7", "same-site self pair");
+    assert_eq!(helper.provenance, "via-calls:1");
+    assert_eq!(helper.confidence, 0.6955);
+}
+
+#[test]
+fn lockset_pruning_cuts_guarded_candidates_with_zero_true_loss() {
+    let report = analyze_workspace(&fixtures_root()).expect("analyze fixtures");
+
+    // guarded.rs holds the only consistently-locked accesses in the tree:
+    // both its candidate pairs (set x set, set x get) are false positives a
+    // line-level pass would emit. The lockset layer must prune every one.
+    let guarded_candidates = 2usize;
+    assert_eq!(report.pruned_pairs.len(), 2);
+    for p in &report.pruned_pairs {
+        assert!(p.first.starts_with("guarded.rs"));
+        assert_eq!(p.guard, "both-guarded:lock");
+        assert_eq!(p.confidence, 0.0);
+    }
+    let pruned_ratio = report.pruned_pairs.len() as f64 / guarded_candidates as f64;
+    assert!(
+        pruned_ratio >= 0.30,
+        "lockset pruning must remove >= 30% of guarded false candidates, got {pruned_ratio}"
+    );
+
+    // Zero true-candidate loss: every genuinely racy fixture pair is still
+    // emitted, and nothing from guarded.rs survives.
+    assert_eq!(report.pairs.len(), 6);
+    assert!(report
+        .pairs
+        .iter()
+        .all(|p| !p.first.starts_with("guarded.rs")));
+    for must_keep in [
+        ("half_guarded.rs:14:12", "half_guarded.rs:17:12"),
+        ("helper_flow.rs:6:7", "helper_flow.rs:6:7"),
+        ("shared_map.rs:9:26", "shared_map.rs:11:11"),
+        ("shared_map.rs:9:26", "shared_map.rs:12:11"),
+        ("shared_map.rs:9:26", "shared_map.rs:14:12"),
+        ("shared_map.rs:11:11", "shared_map.rs:14:12"),
+    ] {
+        assert!(
+            report
+                .pairs
+                .iter()
+                .any(|p| p.first == must_keep.0 && p.second == must_keep.1),
+            "true candidate lost: {must_keep:?}"
+        );
+    }
 }
 
 #[test]
@@ -96,21 +173,74 @@ fn allowlist_splits_intended_from_blocking() {
 fn fixture_pairs_become_a_static_trap_file() {
     let report = analyze_workspace(&fixtures_root()).expect("analyze fixtures");
     let tf = report.to_trap_file();
-    assert_eq!(tf.pairs.len(), 4);
-    assert_eq!(tf.count_origin(PairOrigin::Static), 4);
+    assert_eq!(tf.pairs.len(), 6, "pruned pairs stay out of the trap file");
+    assert_eq!(tf.count_origin(PairOrigin::Static), 6);
     // Every textual pair must re-intern as real SiteIds.
-    assert_eq!(tf.to_pairs().len(), 4);
+    assert_eq!(tf.to_pairs().len(), 6);
+    // Confidence survives the trap file and drives arming order: the
+    // highest-confidence pairs come first.
+    let order = tf.arming_order();
+    let confs: Vec<f64> = order.iter().map(|&i| tf.confidence(i)).collect();
+    assert!(confs.windows(2).all(|w| w[0] >= w[1]), "sorted: {confs:?}");
+    assert_eq!(confs[0], 0.8182);
+    assert_eq!(*confs.last().expect("nonempty"), 0.625);
 }
 
 #[test]
 fn jsonl_round_trips_every_fixture_record() {
     let report = analyze_workspace(&fixtures_root()).expect("analyze fixtures");
     let jsonl = report.to_jsonl();
-    // summary + 2 escapes + 4 sites + 4 pairs
-    assert_eq!(jsonl.lines().count(), 11);
+    // summary + 2 escapes + 12 sites + 6 pairs + 2 pruned pairs
+    assert_eq!(jsonl.lines().count(), 23);
     for line in jsonl.lines() {
         let v: serde::Value = serde_json::from_str(line).expect("valid JSON line");
         let obj = v.as_object().expect("object");
         assert!(obj.contains_key("record"));
     }
+    assert_eq!(
+        jsonl
+            .lines()
+            .filter(|l| l.contains("\"record\":\"pruned_pair\""))
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn score_on_fixture_run_report_meets_the_checked_in_baseline() {
+    let report = analyze_workspace(&fixtures_root()).expect("analyze fixtures");
+    let dir = std::env::temp_dir().join(format!("tsvd_analyzer_score_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let static_path = dir.join("static.jsonl");
+    std::fs::write(&static_path, report.to_jsonl()).expect("write jsonl");
+
+    let (kept, pruned) = load_candidates(&static_path).expect("load candidates");
+    assert_eq!(kept.len(), 6);
+    assert_eq!(pruned.len(), 2);
+    let outcomes =
+        load_outcomes(&fixtures_root().join("score/run-report.jsonl")).expect("load outcomes");
+    assert_eq!(outcomes.len(), 3);
+
+    let sr = score(&kept, &pruned, &outcomes);
+    // 2 of 6 static candidates confirmed dynamically; 2 of 3 dynamic pairs
+    // predicted; nothing confirmed was pruned.
+    assert_eq!(sr.emitted, 6);
+    assert_eq!(sr.confirmed, 2);
+    assert_eq!(sr.dynamic_total, 3);
+    assert_eq!(sr.matched_dynamic, 2);
+    assert_eq!(sr.pruned, 2);
+    assert_eq!(sr.pruned_confirmed, 0, "no true candidate was pruned");
+    let cross = sr.rules.get("cross-task").expect("cross-task rule");
+    assert_eq!((cross.emitted, cross.confirmed), (4, 2));
+    let main = sr
+        .rules
+        .get("main-vs-spawned")
+        .expect("main-vs-spawned rule");
+    assert_eq!((main.emitted, main.confirmed), (2, 0));
+
+    let baseline =
+        Baseline::load(&fixtures_root().join("score/baseline.json")).expect("load baseline");
+    sr.check_baseline(&baseline)
+        .expect("fixture precision/recall must meet the recorded baseline");
+    std::fs::remove_dir_all(&dir).ok();
 }

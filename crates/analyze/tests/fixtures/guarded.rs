@@ -1,0 +1,22 @@
+//! Fixture: consistently locked accesses — every candidate prunes.
+use tsvd_collections::Dictionary;
+use tsvd_tasks::sync::TsvdMutex;
+use tsvd_tasks::Pool;
+
+pub fn disciplined(pool: &Pool) {
+    let table = Dictionary::new();
+    let lock = TsvdMutex::new(0u32);
+    let t1 = table.clone();
+    let l1 = lock.clone();
+    let t2 = table.clone();
+    let l2 = lock.clone();
+    pool.spawn(move || {
+        let g = l1.lock();
+        t1.set(1, 1);
+    });
+    pool.spawn(move || {
+        let g = l2.lock();
+        t2.set(2, 2);
+        t2.get(&1);
+    });
+}

@@ -1,0 +1,12 @@
+//! Fixture: a shadowing rebind must not keep the old classification.
+use tsvd_collections::Dictionary;
+use tsvd_tasks::Pool;
+
+pub fn rebound(pool: &Pool) {
+    let log = Dictionary::new();
+    log.set(0, 0);
+    let log = plain_vec();
+    let l1 = log.clone();
+    pool.spawn(move || l1.push(1));
+    pool.spawn(move || log.push(2));
+}

@@ -1,0 +1,43 @@
+//! Property-based tests for the analyzer's token scanner.
+
+// Requires the real `proptest` crate, which the offline build cannot
+// fetch; run with `--features proptests` in an environment that has it.
+#![cfg(feature = "proptests")]
+
+use proptest::prelude::*;
+use tsvd_analyze::analyze_file;
+
+proptest! {
+    /// `tokenize` never panics, whatever bytes it is fed: malformed input
+    /// must degrade to punctuation tokens, not abort the analysis.
+    #[test]
+    fn tokenize_never_panics(src in "\\PC*") {
+        let toks = tsvd_analyze::lexer::tokenize(&src);
+        // Positions stay 1-based and non-decreasing by line.
+        let mut last_line = 1u32;
+        for t in &toks {
+            prop_assert!(t.line >= 1 && t.col >= 1);
+            prop_assert!(t.line >= last_line);
+            last_line = t.line;
+        }
+    }
+
+    /// Rust-ish soup built from the analyzer's trigger words also lexes and
+    /// analyzes without panicking — the full front end, not just the lexer.
+    #[test]
+    fn analyze_never_panics_on_keyword_soup(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("let"), Just("fn"), Just("spawn"), Just("clone"),
+                Just("Dictionary"), Just("Arc"), Just("Mutex"), Just("lock"),
+                Just("{"), Just("}"), Just("("), Just(")"), Just("."),
+                Just("="), Just(";"), Just("r#\""), Just("\"#"), Just("/*"),
+                Just("*/"), Just("x"), Just("\"")
+            ],
+            0..120,
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = analyze_file("fuzz.rs", &src);
+    }
+}

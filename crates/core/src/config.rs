@@ -129,6 +129,15 @@ pub struct TsvdConfig {
     #[serde(default = "default_watchdog_max_cancellations")]
     pub watchdog_max_cancellations: u64,
 
+    // --- Trap-file import budget --------------------------------------------
+    /// Maximum number of pairs armed from an imported trap file. When a
+    /// file carries more candidates than the budget allows, the highest-
+    /// confidence pairs are armed first (ties broken by file order), so a
+    /// statically over-approximated seed spends the delay budget on the
+    /// likeliest races. `usize::MAX` (the default) arms everything.
+    #[serde(default = "default_trap_import_budget")]
+    pub trap_import_budget: usize,
+
     // --- Robustness: durable violation sink ---------------------------------
     /// Write-ahead violation log: every caught violation is appended to this
     /// JSONL file the moment it is caught, so a later test-process crash
@@ -159,6 +168,10 @@ fn default_watchdog_grace_polls() -> u32 {
 
 fn default_watchdog_max_cancellations() -> u64 {
     16
+}
+
+fn default_trap_import_budget() -> usize {
+    usize::MAX
 }
 
 impl Default for TsvdConfig {
@@ -195,6 +208,7 @@ impl Default for TsvdConfig {
             run_deadline_ns: default_run_deadline_ns(),
             watchdog_grace_polls: default_watchdog_grace_polls(),
             watchdog_max_cancellations: default_watchdog_max_cancellations(),
+            trap_import_budget: default_trap_import_budget(),
             durable_sink: None,
             durable_sink_fsync: false,
         }
@@ -276,6 +290,9 @@ impl TsvdConfig {
         }
         if self.watchdog_grace_polls == 0 {
             return Err("watchdog_grace_polls must be at least 1".into());
+        }
+        if self.trap_import_budget == 0 {
+            return Err("trap_import_budget must be at least 1 (usize::MAX disables it)".into());
         }
         Ok(())
     }
@@ -380,6 +397,7 @@ mod tests {
                     "run_deadline_ns",
                     "watchdog_grace_polls",
                     "watchdog_max_cancellations",
+                    "trap_import_budget",
                     "durable_sink",
                     "durable_sink_fsync",
                 ] {
@@ -392,6 +410,14 @@ mod tests {
         assert!(back.watchdog);
         assert_eq!(back.run_deadline_ns, u64::MAX);
         assert!(back.durable_sink.is_none());
+        assert_eq!(back.trap_import_budget, usize::MAX);
+    }
+
+    #[test]
+    fn validate_rejects_zero_import_budget() {
+        let mut c = TsvdConfig::paper();
+        c.trap_import_budget = 0;
+        assert!(c.validate().is_err());
     }
 
     #[test]

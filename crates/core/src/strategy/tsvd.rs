@@ -39,6 +39,10 @@ pub struct Tsvd {
     /// [`TsvdConfig::adaptive_delay`]). `None` when the extension is off.
     adaptive: Option<Mutex<std::collections::HashMap<crate::site::SiteId, u32>>>,
     adaptive_cap: u32,
+    /// Cap on pairs armed from imported trap files (see
+    /// [`TsvdConfig::trap_import_budget`]). Dynamically discovered pairs
+    /// are never budgeted — the cap only rations *seeded* candidates.
+    import_budget: usize,
     rng: Mutex<SmallRng>,
 }
 
@@ -73,6 +77,7 @@ impl Tsvd {
                 .adaptive_delay
                 .then(|| Mutex::new(std::collections::HashMap::new())),
             adaptive_cap: config.adaptive_delay_cap.max(1.0) as u32,
+            import_budget: config.trap_import_budget,
             rng: Mutex::new(SmallRng::seed_from_u64(config.seed ^ 0x7547)),
         }
     }
@@ -181,7 +186,15 @@ impl Strategy for Tsvd {
     }
 
     fn import_trap_file(&self, data: &TrapFileData) {
-        for pair in data.to_pairs() {
+        // Highest-confidence pairs first: under a finite import budget the
+        // static analyzer's best-graded candidates get the delay budget.
+        for index in data.arming_order() {
+            if self.traps.len() >= self.import_budget {
+                break;
+            }
+            let Some(pair) = data.pair_at(index) else {
+                continue;
+            };
             if self.traps.add(pair) {
                 self.decay.arm(pair.first);
                 self.decay.arm(pair.second);
@@ -381,6 +394,67 @@ mod tests {
         // Imported pairs delay on their very first occurrence.
         let d = s2.on_access(&acc(9, 99, site(1), OpKind::Write, 0));
         assert!(d.is_some());
+    }
+
+    #[test]
+    fn import_budget_arms_highest_confidence_first() {
+        use crate::trap_file::PairOrigin;
+        let mut file = TrapFileData::default();
+        file.push_with_confidence(
+            (site(60).to_string(), site(61).to_string()),
+            PairOrigin::Static,
+            0.4,
+        );
+        file.push_with_confidence(
+            (site(62).to_string(), site(63).to_string()),
+            PairOrigin::Static,
+            0.9,
+        );
+        file.push_with_confidence(
+            (site(64).to_string(), site(65).to_string()),
+            PairOrigin::Static,
+            0.7,
+        );
+
+        let mut c = config();
+        c.trap_import_budget = 2;
+        let s = Tsvd::new(&c);
+        s.import_trap_file(&file);
+        assert_eq!(s.trap_set_len(), 2);
+        assert!(s.is_armed(SitePair::new(site(62), site(63))), "0.9 arms");
+        assert!(s.is_armed(SitePair::new(site(64), site(65))), "0.7 arms");
+        assert!(
+            !s.is_armed(SitePair::new(site(60), site(61))),
+            "the lowest-confidence pair is the one the budget drops"
+        );
+
+        // Without a budget everything arms, regardless of grade.
+        let s_all = Tsvd::new(&config());
+        s_all.import_trap_file(&file);
+        assert_eq!(s_all.trap_set_len(), 3);
+    }
+
+    #[test]
+    fn import_budget_never_caps_dynamic_discovery() {
+        let mut c = config();
+        c.trap_import_budget = 1;
+        let s = Tsvd::new(&c);
+        let mut file = TrapFileData::default();
+        file.push(
+            (site(70).to_string(), site(71).to_string()),
+            crate::trap_file::PairOrigin::Static,
+        );
+        file.push(
+            (site(72).to_string(), site(73).to_string()),
+            crate::trap_file::PairOrigin::Static,
+        );
+        s.import_trap_file(&file);
+        assert_eq!(s.trap_set_len(), 1, "budget caps the import");
+        // A run-time near miss still arms a second pair: the budget rations
+        // seeds, not discovery.
+        s.on_access(&acc(1, 7, site(1), OpKind::Write, 0));
+        s.on_access(&acc(2, 7, site(2), OpKind::Write, 1));
+        assert_eq!(s.trap_set_len(), 2);
     }
 
     #[test]

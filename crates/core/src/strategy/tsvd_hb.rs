@@ -66,6 +66,9 @@ pub struct TsvdHb {
     decay: DecayTable,
     delay_ns: u64,
     history: usize,
+    /// Cap on pairs armed from imported trap files (see
+    /// [`TsvdConfig::trap_import_budget`]).
+    import_budget: usize,
     rng: Mutex<SmallRng>,
 }
 
@@ -79,6 +82,7 @@ impl TsvdHb {
             decay: DecayTable::new(config.decay_factor, config.decay_floor),
             delay_ns: config.delay_ns,
             history: config.hb_access_history.max(1),
+            import_budget: config.trap_import_budget,
             rng: Mutex::new(SmallRng::seed_from_u64(config.seed ^ 0x4B48)),
         }
     }
@@ -226,7 +230,14 @@ impl Strategy for TsvdHb {
     }
 
     fn import_trap_file(&self, data: &TrapFileData) {
-        for pair in data.to_pairs() {
+        // Same confidence-first rationing as the flagship strategy.
+        for index in data.arming_order() {
+            if self.traps.len() >= self.import_budget {
+                break;
+            }
+            let Some(pair) = data.pair_at(index) else {
+                continue;
+            };
             if self.traps.add(pair) {
                 self.decay.arm(pair.first);
                 self.decay.arm(pair.second);

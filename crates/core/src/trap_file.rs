@@ -60,7 +60,7 @@ impl Deserialize for PairOrigin {
 }
 
 /// Serializable snapshot of a trap set.
-#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
 pub struct TrapFileData {
     /// Dangerous pairs, as textual site locations (`file:line:column`).
     pub pairs: Vec<(String, String)>,
@@ -69,6 +69,14 @@ pub struct TrapFileData {
     /// entries are [`PairOrigin::Dynamic`].
     #[serde(default)]
     pub origins: Vec<PairOrigin>,
+    /// Per-pair analysis confidence in (0, 1], parallel to `pairs`. May be
+    /// shorter than `pairs` (files written before the field existed carry
+    /// none); missing entries are `1.0` — a pair with no recorded evidence
+    /// grade is trusted fully, which is exactly the pre-confidence
+    /// behaviour. Confidence orders trap arming under budget pressure; it
+    /// never gates membership by itself.
+    #[serde(default)]
+    pub confidences: Vec<f64>,
 }
 
 impl TrapFileData {
@@ -85,6 +93,7 @@ impl TrapFileData {
                 .map(|p| (p.first.to_string(), p.second.to_string()))
                 .collect(),
             origins: vec![origin; pairs.len()],
+            confidences: Vec::new(),
         }
     }
 
@@ -94,25 +103,70 @@ impl TrapFileData {
         self.origins.get(index).copied().unwrap_or_default()
     }
 
+    /// The confidence of pair `index`; pairs beyond the recorded
+    /// confidences are `1.0` (back-compat with files written before the
+    /// field existed).
+    pub fn confidence(&self, index: usize) -> f64 {
+        self.confidences.get(index).copied().unwrap_or(1.0)
+    }
+
     /// Appends a pair in textual form with its origin.
     pub fn push(&mut self, pair: (String, String), origin: PairOrigin) {
-        // Materialize implicit dynamic origins first so the parallel vectors
-        // stay aligned once a non-default origin appears.
+        self.push_with_confidence(pair, origin, 1.0);
+    }
+
+    /// Appends a pair with an explicit origin and confidence.
+    pub fn push_with_confidence(
+        &mut self,
+        pair: (String, String),
+        origin: PairOrigin,
+        confidence: f64,
+    ) {
+        // Materialize implicit defaults first so the parallel vectors stay
+        // aligned once a non-default entry appears. Confidences stay lazy
+        // until the first non-1.0 value so purely dynamic files keep their
+        // pre-confidence shape on disk.
         while self.origins.len() < self.pairs.len() {
             self.origins.push(PairOrigin::Dynamic);
+        }
+        if confidence != 1.0 || !self.confidences.is_empty() {
+            while self.confidences.len() < self.pairs.len() {
+                self.confidences.push(1.0);
+            }
+            self.confidences.push(confidence);
         }
         self.pairs.push(pair);
         self.origins.push(origin);
     }
 
     /// Merges `other` into `self`, deduplicating textual pairs. A pair
-    /// present in both keeps `self`'s origin.
+    /// present in both keeps `self`'s origin and confidence.
     pub fn merge(&mut self, other: &TrapFileData) {
         for (i, pair) in other.pairs.iter().enumerate() {
             if !self.pairs.contains(pair) {
-                self.push(pair.clone(), other.origin(i));
+                self.push_with_confidence(pair.clone(), other.origin(i), other.confidence(i));
             }
         }
+    }
+
+    /// Re-interns the pair at `index`, or `None` if its text is corrupt.
+    pub fn pair_at(&self, index: usize) -> Option<SitePair> {
+        let (a, b) = self.pairs.get(index)?;
+        Some(SitePair::new(SiteId::parse(a)?, SiteId::parse(b)?))
+    }
+
+    /// Pair indices ordered for arming: highest confidence first, ties
+    /// broken by file order. Strategies walk this order when a
+    /// `trap_import_budget` caps how many imported pairs they may arm.
+    pub fn arming_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.pairs.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.confidence(b)
+                .partial_cmp(&self.confidence(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order
     }
 
     /// Number of pairs tagged with `origin`.
@@ -226,6 +280,7 @@ mod tests {
                 (site(20).to_string(), site(21).to_string()),
             ],
             origins: Vec::new(),
+            confidences: Vec::new(),
         };
         let pairs = data.to_pairs();
         assert_eq!(pairs, vec![SitePair::new(site(20), site(21))]);
@@ -283,6 +338,116 @@ mod tests {
         assert_eq!(a.pairs.len(), 2, "shared pair must not duplicate");
         assert_eq!(a.origin(0), PairOrigin::Static, "self's origin wins");
         assert_eq!(a.origin(1), PairOrigin::Dynamic);
+    }
+
+    #[test]
+    fn confidences_round_trip_through_save_and_load() {
+        let dir = std::env::temp_dir().join(format!("tsvd_trapfile_conf_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("traps.json");
+        let mut data = TrapFileData::default();
+        data.push_with_confidence(
+            (site(60).to_string(), site(61).to_string()),
+            PairOrigin::Static,
+            0.75,
+        );
+        data.push(
+            (site(62).to_string(), site(63).to_string()),
+            PairOrigin::Dynamic,
+        );
+        data.save(&path).expect("save");
+        let loaded = TrapFileData::load(&path).expect("load");
+        assert_eq!(loaded, data);
+        assert!((loaded.confidence(0) - 0.75).abs() < 1e-9);
+        assert!((loaded.confidence(1) - 1.0).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dynamic_only_files_keep_the_pre_confidence_shape() {
+        // Pairs pushed with no explicit confidence must not materialize the
+        // confidences vector: the on-disk JSON stays byte-compatible with
+        // what PR-3 builds wrote for dynamic trap sets.
+        let data = TrapFileData::from_pairs(&[SitePair::new(site(64), site(65))]);
+        assert!(data.confidences.is_empty());
+        let mut pushed = TrapFileData::default();
+        pushed.push(
+            (site(66).to_string(), site(67).to_string()),
+            PairOrigin::Dynamic,
+        );
+        assert!(pushed.confidences.is_empty());
+        assert!((pushed.confidence(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_confidence_file_loads_and_merges() {
+        // Acceptance: a trap file written by PR 3 (origins, no confidence
+        // field) still loads, defaults every pair to 1.0, and merges into a
+        // confidence-carrying set without misaligning the parallel vectors.
+        let dir = std::env::temp_dir().join(format!("tsvd_trapfile_pr3_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("traps.json");
+        std::fs::write(
+            &path,
+            r#"{"pairs": [["a.rs:1:1", "b.rs:2:2"]], "origins": ["static"]}"#,
+        )
+        .expect("write");
+        let loaded = TrapFileData::load(&path).expect("load");
+        assert!(loaded.confidences.is_empty());
+        assert!((loaded.confidence(0) - 1.0).abs() < 1e-9);
+
+        let mut target = TrapFileData::default();
+        target.push_with_confidence(
+            ("c.rs:3:3".to_string(), "d.rs:4:4".to_string()),
+            PairOrigin::Static,
+            0.5,
+        );
+        target.merge(&loaded);
+        assert_eq!(target.pairs.len(), 2);
+        assert!((target.confidence(0) - 0.5).abs() < 1e-9);
+        assert!(
+            (target.confidence(1) - 1.0).abs() < 1e-9,
+            "merged pre-confidence pair defaults to full trust"
+        );
+        assert_eq!(target.origin(1), PairOrigin::Static);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_keeps_self_confidence_for_shared_pairs() {
+        let pair = (site(70).to_string(), site(71).to_string());
+        let mut a = TrapFileData::default();
+        a.push_with_confidence(pair.clone(), PairOrigin::Static, 0.9);
+        let mut b = TrapFileData::default();
+        b.push_with_confidence(pair, PairOrigin::Static, 0.2);
+        b.push_with_confidence(
+            (site(72).to_string(), site(73).to_string()),
+            PairOrigin::Static,
+            0.4,
+        );
+        a.merge(&b);
+        assert_eq!(a.pairs.len(), 2);
+        assert!((a.confidence(0) - 0.9).abs() < 1e-9, "self's grade wins");
+        assert!(
+            (a.confidence(1) - 0.4).abs() < 1e-9,
+            "new pair keeps other's"
+        );
+    }
+
+    #[test]
+    fn pair_at_reinterns_and_skips_corrupt_text() {
+        let mut data = TrapFileData::default();
+        data.push(
+            (site(80).to_string(), site(81).to_string()),
+            PairOrigin::Dynamic,
+        );
+        data.push(
+            ("garbage".to_string(), "x:y:z".to_string()),
+            PairOrigin::Dynamic,
+        );
+        assert_eq!(data.pair_at(0), Some(SitePair::new(site(80), site(81))));
+        assert_eq!(data.pair_at(1), None);
+        assert_eq!(data.pair_at(2), None);
     }
 
     #[test]

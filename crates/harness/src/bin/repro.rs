@@ -18,7 +18,8 @@ fn usage() -> ! {
         "usage: repro <table1|table2|table3|table4|fig8|fig9|fneg|resources|ext|validate|coverage|chaos|all> \
          [--modules N] [--runs N] [--seed N] [--scale F] [--threads N]\n\
          \x20      repro analyze [--root DIR] [--allowlist FILE] [--jsonl FILE] \
-         [--emit-traps FILE] [--deny-escapes]"
+         [--emit-traps FILE] [--deny-escapes]\n\
+         \x20      repro analyze --score STATIC DYNAMIC [--baseline FILE] [--jsonl FILE]"
     );
     std::process::exit(2);
 }
@@ -29,6 +30,9 @@ fn usage() -> ! {
 /// statically-tagged trap file. Exit codes: 0 clean, 1 un-allowlisted
 /// escapes found under `--deny-escapes`, 2 usage or I/O error.
 fn run_analyze_cmd(args: &[String]) -> ! {
+    if args.first().map(String::as_str) == Some("--score") {
+        run_score_cmd(&args[1..]);
+    }
     let mut root = std::path::PathBuf::from(".");
     let mut allowlist_path: Option<std::path::PathBuf> = None;
     let mut jsonl_path: Option<std::path::PathBuf> = None;
@@ -112,6 +116,100 @@ fn run_analyze_cmd(args: &[String]) -> ! {
         std::process::exit(1);
     }
     std::process::exit(0);
+}
+
+/// `repro analyze --score STATIC DYNAMIC`: the precision scoreboard.
+///
+/// Joins static pair candidates (an analyzer JSONL report or a trap file)
+/// against dynamic outcomes (a run-report JSONL or a trap file) and prints
+/// per-rule precision plus overall precision/recall. With `--baseline FILE`
+/// the computed numbers must not regress below the recorded floor. Exit
+/// codes: 0 ok, 1 baseline regression or true-candidate loss, 2 usage or
+/// I/O error.
+fn run_score_cmd(args: &[String]) -> ! {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut baseline_path: Option<std::path::PathBuf> = None;
+    let mut jsonl_path: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            flag @ ("--baseline" | "--jsonl") => {
+                let Some(value) = args.get(i + 1) else {
+                    usage()
+                };
+                let path = std::path::PathBuf::from(value);
+                if flag == "--baseline" {
+                    baseline_path = Some(path);
+                } else {
+                    jsonl_path = Some(path);
+                }
+                i += 2;
+            }
+            _ => {
+                positional.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let [static_path, dynamic_path] = positional.as_slice() else {
+        usage()
+    };
+    let (kept, pruned) =
+        match tsvd_analyze::score::load_candidates(std::path::Path::new(static_path.as_str())) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("repro analyze --score: cannot read candidates {static_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+    let outcomes =
+        match tsvd_analyze::score::load_outcomes(std::path::Path::new(dynamic_path.as_str())) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("repro analyze --score: cannot read outcomes {dynamic_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+    let report = tsvd_analyze::score::score(&kept, &pruned, &outcomes);
+    print!("{}", report.render_human());
+    if let Some(p) = &jsonl_path {
+        let line = serde_json::to_string(&report.to_json_value()).unwrap_or_default();
+        if let Err(e) = std::fs::write(p, line + "\n") {
+            eprintln!("repro analyze --score: cannot write {}: {e}", p.display());
+            std::process::exit(2);
+        }
+        println!("[score report: {}]", p.display());
+    }
+    let mut failed = false;
+    if report.pruned_confirmed > 0 {
+        eprintln!(
+            "repro analyze --score: {} dynamically confirmed pair(s) were pruned statically",
+            report.pruned_confirmed
+        );
+        failed = true;
+    }
+    if let Some(p) = &baseline_path {
+        let baseline = match tsvd_analyze::score::Baseline::load(p) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!(
+                    "repro analyze --score: cannot read baseline {}: {e}",
+                    p.display()
+                );
+                std::process::exit(2);
+            }
+        };
+        if let Err(msg) = report.check_baseline(&baseline) {
+            eprintln!("repro analyze --score: {msg}");
+            failed = true;
+        } else {
+            println!(
+                "[baseline ok: precision >= {:.4}, recall >= {:.4}]",
+                baseline.precision, baseline.recall
+            );
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
 }
 
 /// Runs the chaos storm (`--runs` iterations, default 10) and exits

@@ -111,6 +111,44 @@ fn statically_seeded_first_run_catches_it() {
 }
 
 #[test]
+fn statically_seeded_mean_runs_to_first_violation_stays_at_one() {
+    let priors = static_priors();
+    const SEEDS: u64 = 100;
+    let mut total_runs = 0u32;
+    for seed in 0..SEEDS {
+        let mut carried = priors.clone();
+        let mut runs = 0u32;
+        loop {
+            runs += 1;
+            // Larger time constants than the probe tests above: at tiny
+            // scales the trap delay occasionally expires before the second
+            // task arrives, which would measure flakiness, not seeding.
+            let mut cfg = TsvdConfig::paper().scaled(0.2);
+            cfg.seed = cfg.seed.wrapping_add(1_000 + seed * 17 + u64::from(runs));
+            let rt = Runtime::tsvd(cfg);
+            rt.import_trap_file(&carried);
+            run_workload_once(&rt);
+            if rt.reports().unique_bugs() > 0 {
+                break;
+            }
+            // A miss carries its learned trap state into the retry, the
+            // same way the real pipeline chains runs (§3.4.6).
+            if let Some(exported) = rt.export_trap_file() {
+                carried.merge(&exported);
+            }
+            assert!(runs < 10, "seed {seed}: no violation after 10 runs");
+        }
+        total_runs += runs;
+    }
+    let mean = f64::from(total_runs) / SEEDS as f64;
+    assert!(
+        mean <= 1.01,
+        "statically seeded runs-to-first-violation regressed: mean {mean} > 1.01 \
+         over {SEEDS} seeds"
+    );
+}
+
+#[test]
 fn dynamic_detector_needs_the_second_run_the_priors_remove() {
     // Run 1, unseeded: the near miss arms the pair but nothing traps.
     let rt1 = Runtime::tsvd(config(100));

@@ -8,100 +8,38 @@
 //! throughput is `threads-agnostic`: if the hot path serializes on a lock,
 //! per-access time grows with the thread count; if it scales, it stays flat.
 //!
-//! Two traffic shapes:
+//! Three traffic shapes (the worker loop itself lives in `tsvd_bench` so
+//! the CI regression gate measures exactly what this bench measures):
 //! - `oncall_scaling/*`: 8 hot objects × 4 sites — maximum contention on
 //!   whatever shared state the detector keeps per object.
 //! - `oncall_scaling_highcard/*`: 64Ki distinct objects × 256 sites — the
 //!   production shape (many locks, many callsites) that stresses table
 //!   growth, eviction, and shard distribution rather than one hot entry.
+//! - `oncall_scaling_highcard_ro/*`: the 64Ki shape with reads only — no
+//!   conflicting pair ever forms, so a batched runtime never leaves the
+//!   zero-shared-write fast path. This is the pure fast-path measurement.
+//!
+//! The `tsvd_batched` / `noop_batched` detectors run the same analysis with
+//! thread-local event batching enabled (`batch_capacity > 0`).
 
-use std::sync::{Arc, Barrier};
-use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-use tsvd_core::site::{SiteData, SiteId};
-use tsvd_core::{ObjId, OpKind, Runtime, TsvdConfig};
-
-fn no_delay_config() -> TsvdConfig {
-    let mut c = TsvdConfig::for_testing();
-    // Zero budget: the planner still runs but no sleep is ever admitted, so
-    // the numbers are pure analysis + synchronization cost.
-    c.max_delay_per_run_ns = 0;
-    c
-}
-
-fn make_sites(n: u32) -> Arc<Vec<SiteId>> {
-    Arc::new(
-        (0..n)
-            .map(|i| {
-                SiteId::intern(SiteData {
-                    file: "oncall_scaling.rs",
-                    line: i + 1,
-                    column: 1,
-                })
-            })
-            .collect(),
-    )
-}
-
-/// Runs `iters` total accesses split across `threads` workers and returns
-/// the wall-clock time from the moment all workers are released to the
-/// moment the last one finishes. Thread spawn cost is excluded; each worker
-/// walks its own stride of the object/site space so the access stream is
-/// deterministic per thread count.
-fn run_workers(
-    rt: &Arc<Runtime>,
-    threads: usize,
-    iters: u64,
-    obj_mask: u64,
-    sites: &Arc<Vec<SiteId>>,
-) -> Duration {
-    let per_thread = iters.div_ceil(threads as u64).max(1);
-    let gate = Arc::new(Barrier::new(threads + 1));
-    let handles: Vec<_> = (0..threads)
-        .map(|t| {
-            let rt = Arc::clone(rt);
-            let gate = Arc::clone(&gate);
-            let sites = Arc::clone(sites);
-            thread::spawn(move || {
-                // Offset each worker so they collide on objects rather than
-                // marching in lockstep over disjoint ranges.
-                let mut i = (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                gate.wait();
-                for _ in 0..per_thread {
-                    let obj = ObjId(1 + (i & obj_mask));
-                    let site = sites[(i % sites.len() as u64) as usize];
-                    let kind = if i & 3 == 0 {
-                        OpKind::Write
-                    } else {
-                        OpKind::Read
-                    };
-                    rt.on_call(black_box(obj), site, "bench.op", kind);
-                    i = i.wrapping_add(1);
-                }
-            })
-        })
-        .collect();
-    gate.wait();
-    let start = Instant::now();
-    for h in handles {
-        h.join().expect("bench worker panicked");
-    }
-    start.elapsed()
-}
-
-type Factory = fn(TsvdConfig) -> Arc<Runtime>;
+use tsvd_bench::{
+    make_sites, no_delay_config, noop_batched, run_workers, tsvd_batched, AccessMix, Factory,
+};
+use tsvd_core::Runtime;
 
 const DETECTORS: &[(&str, Factory)] = &[
     ("noop", Runtime::noop),
+    ("noop_batched", noop_batched),
     ("dynamic_random", Runtime::dynamic_random),
     ("tsvd", Runtime::tsvd),
+    ("tsvd_batched", tsvd_batched),
     ("tsvd_hb", Runtime::tsvd_hb),
 ];
 
-fn bench_shape(c: &mut Criterion, group: &str, obj_mask: u64, n_sites: u32) {
+fn bench_shape(c: &mut Criterion, group: &str, obj_mask: u64, n_sites: u32, mix: AccessMix) {
     let sites = make_sites(n_sites);
     let mut g = c.benchmark_group(group);
     for &(name, factory) in DETECTORS {
@@ -110,7 +48,7 @@ fn bench_shape(c: &mut Criterion, group: &str, obj_mask: u64, n_sites: u32) {
                 // One runtime per benchmark point so table state from a
                 // previous thread count can't skew this one.
                 let rt = factory(no_delay_config());
-                b.iter_custom(|iters| run_workers(&rt, threads, iters, obj_mask, &sites));
+                b.iter_custom(|iters| run_workers(&rt, threads, iters, obj_mask, &sites, mix));
             });
         }
     }
@@ -118,11 +56,21 @@ fn bench_shape(c: &mut Criterion, group: &str, obj_mask: u64, n_sites: u32) {
 }
 
 fn bench_contended(c: &mut Criterion) {
-    bench_shape(c, "oncall_scaling", 0x7, 4);
+    bench_shape(c, "oncall_scaling", 0x7, 4, AccessMix::Mixed);
 }
 
 fn bench_high_cardinality(c: &mut Criterion) {
-    bench_shape(c, "oncall_scaling_highcard", 0xFFFF, 256);
+    bench_shape(c, "oncall_scaling_highcard", 0xFFFF, 256, AccessMix::Mixed);
+}
+
+fn bench_high_cardinality_read_only(c: &mut Criterion) {
+    bench_shape(
+        c,
+        "oncall_scaling_highcard_ro",
+        0xFFFF,
+        256,
+        AccessMix::ReadOnly,
+    );
 }
 
 fn config() -> Criterion {
@@ -135,6 +83,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_contended, bench_high_cardinality
+    targets = bench_contended, bench_high_cardinality, bench_high_cardinality_read_only
 }
 criterion_main!(benches);

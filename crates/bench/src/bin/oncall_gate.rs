@@ -1,0 +1,358 @@
+//! CI regression gate for the `OnCall` scaling benchmarks.
+//!
+//! `oncall_gate --write BENCH_oncall.json` measures every (shape, detector,
+//! threads) point with the same worker loop the Criterion bench uses and
+//! persists the results; `--check BENCH_oncall.json [--quick]` re-measures
+//! and fails (exit 1) if any point regressed by more than 15% — or if one
+//! of the absolute invariants below no longer holds.
+//!
+//! Raw nanoseconds-per-access are machine-dependent, so the stored numbers
+//! that gate CI are *normalized*: each point is divided by the same run's
+//! `noop @ 1 thread` time for the same shape. That ratio is "detector cost
+//! in units of bare-instrumentation cost" and transfers across machines.
+//!
+//! Two absolute invariants are enforced on every run (write and check),
+//! both on the read-only high-cardinality shape where a batched runtime
+//! never leaves the zero-shared-write fast path:
+//! - `tsvd_batched` at 8 threads must be no slower than inline `tsvd` at 8
+//!   threads measured in the same run (the point of this whole exercise);
+//! - `tsvd_batched`'s projected 1→8 scaling must be ≥ 6×. On a machine with
+//!   fewer than 8 cores wall-clock scaling is capped by the scheduler, so
+//!   the projection uses per-access time instead: a perfectly scalable hot
+//!   path keeps per-access time flat as threads multiplex onto the same
+//!   cores, giving `8 × t1/t8 ≈ 8`; a serializing one inflates `t8` and the
+//!   projection collapses toward 1.
+
+use std::process::ExitCode;
+
+use serde::{Deserialize, Serialize};
+use tsvd_bench::{make_sites, measure_per_access_ns, tsvd_batched, Factory, SHAPES};
+use tsvd_core::Runtime;
+
+/// Detector table the gate persists. Smaller than the Criterion bench's:
+/// the gate exists to catch hot-path regressions, not to profile every
+/// strategy variant.
+const DETECTORS: &[(&str, Factory)] = &[
+    ("noop", Runtime::noop),
+    ("tsvd", Runtime::tsvd),
+    ("tsvd_batched", tsvd_batched),
+];
+
+const THREADS: &[usize] = &[1, 2, 4, 8];
+
+/// Allowed growth of a normalized ratio before `--check` fails.
+const REGRESSION_TOLERANCE: f64 = 1.15;
+
+/// Minimum projected 1→8 scaling for `tsvd_batched` on `highcard_ro`.
+const MIN_PROJECTED_SCALING: f64 = 6.0;
+
+/// Noise allowance for the batched-vs-inline comparison. On a machine with
+/// enough cores the batched path wins outright (there is real cross-core
+/// contention to eliminate); on a single-core runner both paths do the same
+/// total analysis work and differ only by measurement noise, which this
+/// absorbs while still failing if batching ever becomes categorically
+/// slower.
+const BATCHED_VS_INLINE_TOLERANCE: f64 = 1.10;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Entry {
+    shape: String,
+    detector: String,
+    threads: u32,
+    per_access_ns: f64,
+    /// `per_access_ns` ÷ the same run's `noop @ 1 thread` for this shape.
+    normalized: f64,
+}
+
+/// Gate unit: the geometric mean of one detector's normalized ratios
+/// across all thread counts of one shape. Single (shape, detector,
+/// threads) points on a loaded CI runner are too noisy to gate at 15%;
+/// averaging the four thread counts is, while still catching any real
+/// hot-path regression (which moves every thread count together).
+#[derive(Debug, Serialize, Deserialize)]
+struct Aggregate {
+    shape: String,
+    detector: String,
+    normalized_geomean: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchFile {
+    schema_version: u32,
+    mode: String,
+    /// Projected 1→8 scaling for `tsvd_batched` on `highcard_ro`
+    /// (`min(8, 8 × t1/t8)`), re-derived and re-gated on every check.
+    projected_scaling_8: f64,
+    /// Per-point measurements (informational; not gated individually).
+    entries: Vec<Entry>,
+    /// The gated aggregates.
+    aggregates: Vec<Aggregate>,
+}
+
+struct Params {
+    iters: u64,
+    reps: usize,
+}
+
+fn measure_all(params: &Params, mode: &str) -> BenchFile {
+    let mut entries = Vec::new();
+    for shape in SHAPES {
+        let sites = make_sites(shape.n_sites);
+        let noop_t1 =
+            measure_per_access_ns(Runtime::noop, 1, params.iters, shape, &sites, params.reps);
+        for &(name, factory) in DETECTORS {
+            for &threads in THREADS {
+                let per_access_ns = if name == "noop" && threads == 1 {
+                    noop_t1
+                } else {
+                    measure_per_access_ns(
+                        factory,
+                        threads,
+                        params.iters,
+                        shape,
+                        &sites,
+                        params.reps,
+                    )
+                };
+                eprintln!(
+                    "  {:<12} {:<13} {} thr: {:>8.1} ns/access ({:.2}x noop@1)",
+                    shape.name,
+                    name,
+                    threads,
+                    per_access_ns,
+                    per_access_ns / noop_t1
+                );
+                entries.push(Entry {
+                    shape: shape.name.to_string(),
+                    detector: name.to_string(),
+                    threads: threads as u32,
+                    per_access_ns,
+                    normalized: per_access_ns / noop_t1,
+                });
+            }
+        }
+    }
+    let projected_scaling_8 = projected_scaling(&entries);
+    let aggregates = aggregate(&entries);
+    BenchFile {
+        schema_version: 1,
+        mode: mode.to_string(),
+        projected_scaling_8,
+        entries,
+        aggregates,
+    }
+}
+
+fn aggregate(entries: &[Entry]) -> Vec<Aggregate> {
+    let mut out: Vec<Aggregate> = Vec::new();
+    for shape in SHAPES {
+        for &(name, _) in DETECTORS {
+            let ratios: Vec<f64> = entries
+                .iter()
+                .filter(|e| e.shape == shape.name && e.detector == name)
+                .map(|e| e.normalized)
+                .collect();
+            if ratios.is_empty() {
+                continue;
+            }
+            let geomean = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+            out.push(Aggregate {
+                shape: shape.name.to_string(),
+                detector: name.to_string(),
+                normalized_geomean: geomean,
+            });
+        }
+    }
+    out
+}
+
+fn lookup(entries: &[Entry], shape: &str, detector: &str, threads: u32) -> Option<f64> {
+    entries
+        .iter()
+        .find(|e| e.shape == shape && e.detector == detector && e.threads == threads)
+        .map(|e| e.per_access_ns)
+}
+
+/// Projected 1→8 scaling for `tsvd_batched` on the read-only shape: a
+/// perfectly scalable hot path keeps per-access time flat as the thread
+/// count grows, so `8 × (low-thread time / high-thread time)` approaches 8
+/// even when the runner has a single core; a serializing path inflates the
+/// high-thread times and the projection collapses toward 1. Each side of
+/// the ratio averages two thread counts to damp single-cell noise.
+fn projected_scaling(entries: &[Entry]) -> f64 {
+    let cell =
+        |threads| lookup(entries, "highcard_ro", "tsvd_batched", threads).unwrap_or(f64::NAN);
+    let low = (cell(1) * cell(2)).sqrt();
+    let high = (cell(4) * cell(8)).sqrt();
+    (8.0 * low / high).min(8.0)
+}
+
+/// The machine-independent invariants that must hold on every run. Both
+/// compare whole thread-count sweeps (geometric means over 1/2/4/8
+/// threads), not single cells — one (detector, threads) point on a busy
+/// single-core runner can swing ±25% between reps, a four-point geomean
+/// does not.
+fn check_invariants(current: &BenchFile) -> Result<(), String> {
+    let agg = |detector: &str| {
+        current
+            .aggregates
+            .iter()
+            .find(|a| a.shape == "highcard_ro" && a.detector == detector)
+            .map(|a| a.normalized_geomean)
+            .ok_or_else(|| format!("missing highcard_ro/{detector} aggregate"))
+    };
+    let batched = agg("tsvd_batched")?;
+    let inline = agg("tsvd")?;
+    if batched > inline * BATCHED_VS_INLINE_TOLERANCE {
+        return Err(format!(
+            "batched hot path is slower than the inline path: tsvd_batched \
+             {batched:.2}x noop@1 vs tsvd {inline:.2}x noop@1 across 1/2/4/8 \
+             threads (highcard_ro)"
+        ));
+    }
+    let scaling = projected_scaling(&current.entries);
+    // NaN (missing/zero cells) must fail the gate, so test for the
+    // passing condition and invert rather than comparing directly.
+    if !(scaling.is_finite() && scaling >= MIN_PROJECTED_SCALING) {
+        return Err(format!(
+            "projected 1→8 scaling for tsvd_batched on highcard_ro is {scaling:.2}x, \
+             need >= {MIN_PROJECTED_SCALING:.1}x"
+        ));
+    }
+    eprintln!(
+        "invariants: tsvd_batched {batched:.2}x <= tsvd {inline:.2}x noop@1 \
+         (highcard_ro sweep); projected scaling {scaling:.2}x >= {MIN_PROJECTED_SCALING:.1}x"
+    );
+    Ok(())
+}
+
+/// Aggregate normalized-ratio comparison against the stored baseline.
+fn check_against(stored: &BenchFile, current: &BenchFile) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for base in &stored.aggregates {
+        let Some(cur) = current
+            .aggregates
+            .iter()
+            .find(|a| a.shape == base.shape && a.detector == base.detector)
+        else {
+            failures.push(format!(
+                "{}/{} missing from current run",
+                base.shape, base.detector
+            ));
+            continue;
+        };
+        // Regressions only: getting faster than the baseline is fine.
+        if cur.normalized_geomean > base.normalized_geomean * REGRESSION_TOLERANCE {
+            failures.push(format!(
+                "{}/{} regressed: {:.2}x noop@1 across threads \
+                 (baseline {:.2}x, tolerance {:.0}%)",
+                base.shape,
+                base.detector,
+                cur.normalized_geomean,
+                base.normalized_geomean,
+                (REGRESSION_TOLERANCE - 1.0) * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "baseline: {} aggregates within {:.0}% of stored normalized ratios",
+            stored.aggregates.len(),
+            (REGRESSION_TOLERANCE - 1.0) * 100.0
+        );
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn write_atomically(path: &str, file: &BenchFile) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(file).expect("bench file serializes");
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, json + "\n")?;
+    std::fs::rename(&tmp, path)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: oncall_gate (--write PATH | --check PATH) [--quick]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut write_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write" => write_path = args.next(),
+            "--check" => check_path = args.next(),
+            "--quick" => quick = true,
+            _ => return usage(),
+        }
+    }
+    let (params, mode) = if quick {
+        (
+            Params {
+                iters: 120_000,
+                reps: 5,
+            },
+            "quick",
+        )
+    } else {
+        (
+            Params {
+                iters: 400_000,
+                reps: 5,
+            },
+            "full",
+        )
+    };
+
+    match (write_path, check_path) {
+        (Some(path), None) => {
+            eprintln!("measuring ({mode} mode) ...");
+            let current = measure_all(&params, mode);
+            if let Err(e) = check_invariants(&current) {
+                eprintln!("REFUSING to write a failing baseline:\n{e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = write_atomically(&path, &current) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        (None, Some(path)) => {
+            let stored: BenchFile = match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+            {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("failed to load baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("measuring ({mode} mode) ...");
+            let current = measure_all(&params, mode);
+            let mut failed = false;
+            if let Err(e) = check_invariants(&current) {
+                eprintln!("INVARIANT FAILURE:\n{e}");
+                failed = true;
+            }
+            if let Err(e) = check_against(&stored, &current) {
+                eprintln!("REGRESSION vs {path}:\n{e}");
+                failed = true;
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                eprintln!("oncall gate: OK");
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}

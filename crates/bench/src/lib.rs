@@ -1,2 +1,200 @@
-//! Shared helpers for the Criterion benchmarks live in the individual
-//! bench targets; this library exists only to anchor the package.
+//! Shared measurement harness for the `OnCall` scaling benchmarks.
+//!
+//! Both the Criterion bench (`benches/oncall_scaling.rs`) and the CI
+//! regression gate (`src/bin/oncall_gate.rs`) drive the same worker loop so
+//! their numbers are comparable: `iters` accesses split across `threads`
+//! workers, each walking its own stride of the object/site space, timed from
+//! barrier release to last join. Thread spawn cost is excluded; the
+//! thread-exit flush of a batched runtime's local buffer is *included*
+//! (workers exit inside the timed region), so batching cannot hide work by
+//! leaving it in thread-local buffers.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use tsvd_core::site::{SiteData, SiteId};
+use tsvd_core::{ObjId, OpKind, Runtime, TsvdConfig};
+
+/// Batch capacity used by the `*_batched` factory wrappers. Large enough
+/// that a quiescent worker flushes only at thread exit for typical bench
+/// iteration counts per sample; small enough to keep drain latency bounded.
+pub const BENCH_BATCH_CAPACITY: usize = 256;
+
+/// A runtime constructor, so detector variants can be tabulated.
+pub type Factory = fn(TsvdConfig) -> Arc<Runtime>;
+
+/// The config every scaling measurement uses: zero delay budget, so the
+/// planner still runs but no sleep is ever admitted and the numbers are
+/// pure analysis + synchronization cost.
+pub fn no_delay_config() -> TsvdConfig {
+    let mut c = TsvdConfig::for_testing();
+    c.max_delay_per_run_ns = 0;
+    c
+}
+
+/// `Runtime::tsvd` with thread-local batching enabled.
+pub fn tsvd_batched(mut config: TsvdConfig) -> Arc<Runtime> {
+    config.batch_capacity = BENCH_BATCH_CAPACITY;
+    Runtime::tsvd(config)
+}
+
+/// `Runtime::noop` with thread-local batching enabled — isolates the cost
+/// of the buffering machinery itself from the analysis it defers.
+pub fn noop_batched(mut config: TsvdConfig) -> Arc<Runtime> {
+    config.batch_capacity = BENCH_BATCH_CAPACITY;
+    Runtime::noop(config)
+}
+
+/// What mix of operations the workers issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMix {
+    /// 1-in-4 writes, the rest reads: conflicting pairs exist, so a TSVD
+    /// detector arms traps and (for batched runtimes) closes the fast-path
+    /// gate once it does.
+    Mixed,
+    /// Reads only: no conflicting pair ever forms, no trap ever arms, and a
+    /// batched runtime stays on the zero-shared-write path for the whole
+    /// run. This is the shape that measures the fast path itself.
+    ReadOnly,
+}
+
+/// One benchmark traffic shape: an object-space mask, a callsite count, and
+/// an access mix.
+#[derive(Debug, Clone, Copy)]
+pub struct Shape {
+    /// Stable name used in bench group ids and the gate's JSON.
+    pub name: &'static str,
+    /// Objects are `1 + (i & obj_mask)`: 0x7 = 8 hot objects, 0xFFFF = 64Ki.
+    pub obj_mask: u64,
+    /// Number of distinct interned callsites the workers rotate through.
+    pub n_sites: u32,
+    /// Operation mix.
+    pub mix: AccessMix,
+}
+
+/// The three shapes the gate persists and checks.
+pub const SHAPES: &[Shape] = &[
+    Shape {
+        name: "contended",
+        obj_mask: 0x7,
+        n_sites: 4,
+        mix: AccessMix::Mixed,
+    },
+    Shape {
+        name: "highcard",
+        obj_mask: 0xFFFF,
+        n_sites: 256,
+        mix: AccessMix::Mixed,
+    },
+    Shape {
+        name: "highcard_ro",
+        obj_mask: 0xFFFF,
+        n_sites: 256,
+        mix: AccessMix::ReadOnly,
+    },
+];
+
+/// Interns `n` distinct callsites for the worker loop to rotate through.
+pub fn make_sites(n: u32) -> Arc<Vec<SiteId>> {
+    Arc::new(
+        (0..n)
+            .map(|i| {
+                SiteId::intern(SiteData {
+                    file: "oncall_scaling.rs",
+                    line: i + 1,
+                    column: 1,
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Runs `iters` total accesses split across `threads` workers and returns
+/// the wall-clock span from the first worker starting to the last worker
+/// finishing. Each worker walks its own stride of the object/site space so
+/// the access stream is deterministic per thread count.
+///
+/// Every worker takes its own start/end timestamps; the span is
+/// `max(end) − min(start)`. Timing from the coordinating thread would
+/// undercount badly on machines with fewer cores than workers: after the
+/// release barrier the scheduler can run the workers for milliseconds
+/// before the coordinator gets the CPU back to read the clock.
+pub fn run_workers(
+    rt: &Arc<Runtime>,
+    threads: usize,
+    iters: u64,
+    obj_mask: u64,
+    sites: &Arc<Vec<SiteId>>,
+    mix: AccessMix,
+) -> Duration {
+    let per_thread = iters.div_ceil(threads as u64).max(1);
+    let gate = Arc::new(Barrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let rt = Arc::clone(rt);
+            let gate = Arc::clone(&gate);
+            let sites = Arc::clone(sites);
+            thread::spawn(move || {
+                // Offset each worker so they collide on objects rather than
+                // marching in lockstep over disjoint ranges.
+                let mut i = (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                gate.wait();
+                let start = Instant::now();
+                for _ in 0..per_thread {
+                    let obj = ObjId(1 + (i & obj_mask));
+                    let site = sites[(i % sites.len() as u64) as usize];
+                    let kind = match mix {
+                        AccessMix::ReadOnly => OpKind::Read,
+                        AccessMix::Mixed if i & 3 == 0 => OpKind::Write,
+                        AccessMix::Mixed => OpKind::Read,
+                    };
+                    rt.on_call(std::hint::black_box(obj), site, "bench.op", kind);
+                    i = i.wrapping_add(1);
+                }
+                (start, Instant::now())
+            })
+        })
+        .collect();
+    let mut first_start: Option<Instant> = None;
+    let mut last_end: Option<Instant> = None;
+    for h in handles {
+        let (start, end) = h.join().expect("bench worker panicked");
+        first_start = Some(first_start.map_or(start, |s| s.min(start)));
+        last_end = Some(last_end.map_or(end, |e| e.max(end)));
+    }
+    match (first_start, last_end) {
+        (Some(start), Some(end)) => end.duration_since(start),
+        _ => Duration::ZERO,
+    }
+}
+
+/// Minimum per-access nanoseconds over `reps` repetitions of
+/// `run_workers(threads, iters)` on a fresh runtime per rep (so table state
+/// from a previous rep can't skew the next), with a warm-up long enough to
+/// populate the per-object tracking tables (the high-cardinality shapes
+/// touch 64Ki objects; measuring during table growth would make short runs
+/// systematically slower per access than long ones).
+///
+/// The minimum — not the median — because this feeds a regression *gate*:
+/// the fastest rep is the one least perturbed by scheduler noise and is by
+/// far the most reproducible statistic on a loaded or single-core machine,
+/// while still moving whenever the code genuinely gets slower.
+pub fn measure_per_access_ns(
+    factory: Factory,
+    threads: usize,
+    iters: u64,
+    shape: &Shape,
+    sites: &Arc<Vec<SiteId>>,
+    reps: usize,
+) -> f64 {
+    (0..reps.max(1))
+        .map(|_| {
+            let rt = factory(no_delay_config());
+            let warmup = (iters / 8).max(2 * (shape.obj_mask + 1)).max(1);
+            run_workers(&rt, threads, warmup, shape.obj_mask, sites, shape.mix);
+            let wall = run_workers(&rt, threads, iters, shape.obj_mask, sites, shape.mix);
+            wall.as_nanos() as f64 / iters as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}

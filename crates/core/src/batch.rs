@@ -1,0 +1,162 @@
+//! Thread-local event batching for the zero-trap `OnCall` fast path.
+//!
+//! While the runtime is *quiescent* — no trap live, no dangerous pair armed
+//! — an instrumented access cannot collide with anything and the strategy
+//! cannot want to delay it. The only work left is observation: near-miss
+//! history, phase evidence, coverage. None of it has to happen inline, so
+//! the fast path appends the access to a buffer owned by the calling thread
+//! and returns. The buffered observations reach the shared analysis
+//! structures at well-defined flush points:
+//!
+//! - **gate closed** — the thread's next `on_call` notices the runtime is no
+//!   longer quiescent (a trap went live, a pair armed, or a drain was
+//!   requested) and drains its buffer before taking the inline path;
+//! - **buffer full** — the buffer reached `batch_capacity` events;
+//! - **synchronization** — `on_sync` flushes first, so fork/join/lock
+//!   ordering evidence is never observed before the accesses preceding it;
+//! - **thread exit** — the buffer's TLS destructor flushes what remains.
+//!
+//! Draining is *cooperative*: a trap-arming thread cannot reach into other
+//! threads' buffers, so it bumps the gate's drain epoch instead and every
+//! buffering thread drains at its next touch point. The quiescence check
+//! compares both the activity count and the drain epoch (see
+//! [`crate::gate`]), so even a trap that was set and cleared entirely
+//! between two of a thread's accesses still forces that thread to flush.
+//!
+//! The buffer binds to one runtime at a time (keyed by address, held as a
+//! `Weak` so a dead runtime is never revived). When a thread starts calling
+//! into a different runtime, the old owner's events are flushed first.
+
+use std::cell::RefCell;
+use std::sync::Weak;
+
+use crate::access::Access;
+use crate::gate::HotGate;
+use crate::runtime::Runtime;
+
+/// Outcome of offering an access to the calling thread's local buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Offer {
+    /// Captured locally (the buffer may have flushed itself if it filled
+    /// up); the hot path is done with this access.
+    Buffered,
+    /// The runtime is not quiescent: any buffered events were drained and
+    /// the caller must run this access through the inline path.
+    Inline,
+}
+
+struct LocalBuffer {
+    /// Owning runtime; `Weak` so a leaked TLS slot cannot keep it alive.
+    runtime: Weak<Runtime>,
+    /// The owner's address — cheap identity check without upgrading.
+    runtime_ptr: usize,
+    events: Vec<Access>,
+    /// Last gate drain-epoch this thread has caught up with.
+    seen_epoch: u32,
+}
+
+impl LocalBuffer {
+    /// Delivers the buffered events to the owning runtime, if it is still
+    /// alive.
+    fn flush_to_owner(&mut self, thread_exit: bool) {
+        if self.events.is_empty() {
+            return;
+        }
+        let Some(rt) = self.runtime.upgrade() else {
+            self.events.clear();
+            return;
+        };
+        let events = std::mem::take(&mut self.events);
+        rt.apply_batch(&events, thread_exit);
+    }
+}
+
+impl Drop for LocalBuffer {
+    fn drop(&mut self) {
+        self.flush_to_owner(true);
+    }
+}
+
+thread_local! {
+    static BUFFER: RefCell<Option<LocalBuffer>> = const { RefCell::new(None) };
+}
+
+/// Offers `access` to the calling thread's buffer for runtime `rt`.
+///
+/// This is the zero-trap fast path: when the gate is quiescent the cost is
+/// one relaxed atomic load plus an append to a thread-local `Vec` — no lock,
+/// no shared-memory write.
+pub(crate) fn offer(rt: &Runtime, access: &Access) -> Offer {
+    BUFFER
+        .try_with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let rt_ptr = rt as *const Runtime as usize;
+            let bound = matches!(slot.as_ref(), Some(buf) if buf.runtime_ptr == rt_ptr);
+            if !bound {
+                // Rebind: flush whatever the previous owner was owed.
+                if let Some(mut old) = slot.take() {
+                    drop(slot);
+                    old.flush_to_owner(false);
+                    slot = cell.borrow_mut();
+                }
+                *slot = Some(LocalBuffer {
+                    runtime: rt.weak_self(),
+                    runtime_ptr: rt_ptr,
+                    // Reserve up front: growth inside `push` would make the
+                    // fast path's cost lumpy.
+                    events: Vec::with_capacity(rt.batch_capacity()),
+                    seen_epoch: HotGate::epoch(rt.gate().load()),
+                });
+            }
+            let buf = slot.as_mut().expect("buffer bound above");
+            let word = rt.gate().load();
+            if !HotGate::is_quiescent(word, buf.seen_epoch) {
+                buf.seen_epoch = HotGate::epoch(word);
+                let events = std::mem::take(&mut buf.events);
+                drop(slot); // Release the borrow before re-entering the runtime.
+                if !events.is_empty() {
+                    rt.apply_batch(&events, false);
+                }
+                return Offer::Inline;
+            }
+            buf.events.push(*access);
+            if buf.events.len() >= rt.batch_capacity() {
+                let events = std::mem::take(&mut buf.events);
+                drop(slot);
+                rt.apply_batch(&events, false);
+            }
+            Offer::Buffered
+        })
+        // TLS already torn down (runtime call from a thread destructor):
+        // nothing can be buffered, take the inline path.
+        .unwrap_or(Offer::Inline)
+}
+
+/// Flushes the calling thread's buffer if it is bound to `rt`.
+pub(crate) fn flush_current(rt: &Runtime) {
+    let _ = BUFFER.try_with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let rt_ptr = rt as *const Runtime as usize;
+        let Some(buf) = slot.as_mut() else { return };
+        if buf.runtime_ptr != rt_ptr || buf.events.is_empty() {
+            return;
+        }
+        let events = std::mem::take(&mut buf.events);
+        drop(slot);
+        rt.apply_batch(&events, false);
+    });
+}
+
+/// Number of events currently buffered on the calling thread for `rt`
+/// (tests and stats).
+pub(crate) fn buffered_len(rt: &Runtime) -> usize {
+    BUFFER
+        .try_with(|cell| {
+            let slot = cell.borrow();
+            let rt_ptr = rt as *const Runtime as usize;
+            slot.as_ref()
+                .filter(|b| b.runtime_ptr == rt_ptr)
+                .map_or(0, |b| b.events.len())
+        })
+        .unwrap_or(0)
+}

@@ -138,6 +138,16 @@ pub struct TsvdConfig {
     #[serde(default = "default_trap_import_budget")]
     pub trap_import_budget: usize,
 
+    // --- Hot-path batching (implementation, not a paper knob) ----------------
+    /// Capacity of each thread-local event buffer on the zero-trap fast
+    /// path. While the runtime is quiescent (no trap armed, no armed pair)
+    /// the hot path appends accesses to this buffer instead of touching any
+    /// shared structure, flushing at trap checks, synchronization points,
+    /// buffer-full, and thread exit. `0` (the default) disables batching:
+    /// every access is analyzed inline, exactly the pre-batching behavior.
+    #[serde(default)]
+    pub batch_capacity: usize,
+
     // --- Robustness: durable violation sink ---------------------------------
     /// Write-ahead violation log: every caught violation is appended to this
     /// JSONL file the moment it is caught, so a later test-process crash
@@ -209,6 +219,7 @@ impl Default for TsvdConfig {
             watchdog_grace_polls: default_watchdog_grace_polls(),
             watchdog_max_cancellations: default_watchdog_max_cancellations(),
             trap_import_budget: default_trap_import_budget(),
+            batch_capacity: 0,
             durable_sink: None,
             durable_sink_fsync: false,
         }
@@ -398,6 +409,7 @@ mod tests {
                     "watchdog_grace_polls",
                     "watchdog_max_cancellations",
                     "trap_import_budget",
+                    "batch_capacity",
                     "durable_sink",
                     "durable_sink_fsync",
                 ] {
@@ -411,6 +423,7 @@ mod tests {
         assert_eq!(back.run_deadline_ns, u64::MAX);
         assert!(back.durable_sink.is_none());
         assert_eq!(back.trap_import_budget, usize::MAX);
+        assert_eq!(back.batch_capacity, 0, "batching defaults to off");
     }
 
     #[test]

@@ -7,20 +7,27 @@
 //! When `P_loc` falls below the floor, the location — and all its pairs —
 //! leaves the trap set. A decay factor of 0 disables decay, the pathological
 //! configuration of Fig. 9 (g) that can blow overhead up by 66×.
+//!
+//! `probability` is consulted on every access at an armed site, so the
+//! table is an epoch-pinned immutable snapshot (see [`crate::epoch`]):
+//! readers never lock, writers (arm, decay, remove — rare) serialize on a
+//! mutex and publish copy-on-write snapshots. An atomic armed-count keeps
+//! the empty table — no pair armed yet — free of even the epoch pin.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 
+use crate::audit;
+use crate::epoch::EpochPtr;
 use crate::site::SiteId;
 
 /// Per-location delay probabilities with multiplicative decay.
-///
-/// `probability` is consulted on every access at an armed site, while the
-/// table mutates only when pairs arm or delays finish — so reads share an
-/// `RwLock` read guard instead of serializing on a mutex.
 pub struct DecayTable {
-    probs: RwLock<HashMap<SiteId, f64>>,
+    snapshot: EpochPtr<HashMap<SiteId, f64>>,
+    writer: Mutex<()>,
+    armed: AtomicUsize,
     factor: f64,
     floor: f64,
 }
@@ -29,21 +36,52 @@ impl DecayTable {
     /// Creates a table with the given decay factor and removal floor.
     pub fn new(factor: f64, floor: f64) -> Self {
         DecayTable {
-            probs: RwLock::new(HashMap::new()),
+            snapshot: EpochPtr::new(HashMap::new()),
+            writer: Mutex::new(()),
+            armed: AtomicUsize::new(0),
             factor: factor.clamp(0.0, 1.0),
             floor: floor.clamp(0.0, 1.0),
         }
     }
 
+    /// Clone-mutate-swap under the writer lock, then republish the armed
+    /// count from the new snapshot's size.
+    fn write<R>(&self, mutate: impl FnOnce(&mut HashMap<SiteId, f64>) -> R) -> R {
+        audit::note_lock();
+        let _w = self.writer.lock();
+        let mut next = self.snapshot.read(Clone::clone);
+        let result = mutate(&mut next);
+        audit::note_shared_write();
+        self.armed.store(next.len(), Ordering::Release);
+        self.snapshot.swap(next);
+        result
+    }
+
     /// (Re)arms `site` at probability 1. Called when a dangerous pair
     /// containing `site` enters the trap set.
     pub fn arm(&self, site: SiteId) {
-        self.probs.write().insert(site, 1.0);
+        self.write(|probs| {
+            probs.insert(site, 1.0);
+        });
+    }
+
+    /// Arms every site in `sites` at probability 1 with a single snapshot
+    /// publish — the bulk path for trap file imports.
+    pub fn arm_many(&self, sites: impl IntoIterator<Item = SiteId>) {
+        self.write(|probs| {
+            for site in sites {
+                probs.insert(site, 1.0);
+            }
+        });
     }
 
     /// Returns the current delay probability of `site` (0 if unknown).
     pub fn probability(&self, site: SiteId) -> f64 {
-        self.probs.read().get(&site).copied().unwrap_or(0.0)
+        if self.armed.load(Ordering::Acquire) == 0 {
+            return 0.0;
+        }
+        self.snapshot
+            .read(|probs| probs.get(&site).copied().unwrap_or(0.0))
     }
 
     /// Applies one decay step to `site` after a fruitless delay.
@@ -51,27 +89,30 @@ impl DecayTable {
     /// Returns `true` if the probability dropped below the floor and the
     /// caller should evict the location's pairs from the trap set.
     pub fn decay(&self, site: SiteId) -> bool {
-        let mut probs = self.probs.write();
-        let Some(p) = probs.get_mut(&site) else {
-            return false;
-        };
-        *p *= 1.0 - self.factor;
-        if *p < self.floor && self.factor > 0.0 {
-            probs.remove(&site);
-            true
-        } else {
-            false
-        }
+        self.write(|probs| {
+            let Some(p) = probs.get_mut(&site) else {
+                return false;
+            };
+            *p *= 1.0 - self.factor;
+            if *p < self.floor && self.factor > 0.0 {
+                probs.remove(&site);
+                true
+            } else {
+                false
+            }
+        })
     }
 
     /// Removes `site` outright (e.g. a violation was already found there).
     pub fn remove(&self, site: SiteId) {
-        self.probs.write().remove(&site);
+        self.write(|probs| {
+            probs.remove(&site);
+        });
     }
 
     /// Number of armed locations (stats).
     pub fn armed_count(&self) -> usize {
-        self.probs.read().len()
+        self.armed.load(Ordering::Acquire)
     }
 }
 
@@ -152,5 +193,46 @@ mod tests {
         t.remove(site(1));
         assert_eq!(t.probability(site(1)), 0.0);
         assert_eq!(t.armed_count(), 0);
+    }
+
+    #[test]
+    fn arm_many_is_one_publish() {
+        let t = DecayTable::new(0.5, 0.05);
+        t.arm_many([site(10), site(11), site(12)]);
+        assert_eq!(t.armed_count(), 3);
+        assert_eq!(t.probability(site(11)), 1.0);
+    }
+
+    #[test]
+    fn concurrent_readers_survive_decay_churn() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let t = Arc::new(DecayTable::new(0.5, 0.05));
+        t.arm(site(90));
+        let stop = Arc::new(AtomicUsize::new(0));
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let t = t.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let p = t.probability(site(90));
+                        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+                        let q = t.probability(site(91));
+                        assert!((0.0..=1.0).contains(&q));
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..300 {
+            t.arm(site(91));
+            t.decay(site(91));
+            t.arm(site(90));
+        }
+        stop.store(1, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+        assert_eq!(t.probability(site(90)), 1.0);
     }
 }

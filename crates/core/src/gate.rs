@@ -1,0 +1,144 @@
+//! The hot gate: one word deciding whether `on_call` may stay local.
+//!
+//! The batched fast path is only sound while the detector is *quiescent*:
+//! no trap is live (nothing to collide with) and no pair is armed (nothing
+//! to delay at). Both conditions, plus the buffer force-drain protocol, are
+//! packed into a single `AtomicU64` so the zero-trap path costs exactly one
+//! relaxed load:
+//!
+//! ```text
+//!   63            32 31             0
+//!  +----------------+----------------+
+//!  |  drain epoch   |    activity    |
+//!  +----------------+----------------+
+//! ```
+//!
+//! *Activity* counts reasons the fast path must not be taken: live traps
+//! (mirrored by the trap table) plus armed pairs (mirrored by the trap
+//! set). *Drain epoch* is a monotone counter bumped when a trap arming
+//! event requests that every thread flush its local buffer; a thread whose
+//! remembered epoch differs flushes at its next `on_call` even if activity
+//! already returned to zero, so no near-miss evidence outlives an arming
+//! inside a local buffer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::audit;
+
+const ACTIVITY_MASK: u64 = 0xFFFF_FFFF;
+const EPOCH_SHIFT: u32 = 32;
+
+/// Packed (drain epoch, activity) word gating the batched fast path.
+#[derive(Debug, Default)]
+pub struct HotGate {
+    word: AtomicU64,
+}
+
+impl HotGate {
+    /// Creates a quiescent gate (activity 0, epoch 0).
+    pub fn new() -> HotGate {
+        HotGate::default()
+    }
+
+    /// Loads the packed word. Relaxed on purpose: a stale read can only
+    /// delay a flush by one call, which is indistinguishable from the
+    /// access having happened slightly earlier — the same argument the
+    /// trap table's zero-live fast path already makes.
+    #[inline]
+    pub fn load(&self) -> u64 {
+        self.word.load(Ordering::Relaxed)
+    }
+
+    /// The activity count in a packed word.
+    #[inline]
+    pub fn activity(word: u64) -> u64 {
+        word & ACTIVITY_MASK
+    }
+
+    /// The drain epoch in a packed word.
+    #[inline]
+    pub fn epoch(word: u64) -> u32 {
+        (word >> EPOCH_SHIFT) as u32
+    }
+
+    /// `true` if `word` permits the batched fast path for a thread whose
+    /// remembered drain epoch is `seen_epoch`.
+    #[inline]
+    pub fn is_quiescent(word: u64, seen_epoch: u32) -> bool {
+        Self::activity(word) == 0 && Self::epoch(word) == seen_epoch
+    }
+
+    /// Adds `n` units of activity (armed pairs, live traps).
+    pub fn add_activity(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        audit::note_shared_write();
+        self.word.fetch_add(n & ACTIVITY_MASK, Ordering::AcqRel);
+    }
+
+    /// Removes `n` units of activity. Callers keep adds and subs balanced;
+    /// an unbalanced sub would corrupt the epoch half of the word.
+    pub fn sub_activity(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        audit::note_shared_write();
+        self.word.fetch_sub(n & ACTIVITY_MASK, Ordering::AcqRel);
+    }
+
+    /// Bumps the drain epoch: every thread must flush its local buffer
+    /// before trusting the fast path again.
+    pub fn request_drain(&self) {
+        audit::note_shared_write();
+        self.word.fetch_add(1 << EPOCH_SHIFT, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_gate_is_quiescent() {
+        let g = HotGate::new();
+        assert!(HotGate::is_quiescent(g.load(), 0));
+    }
+
+    #[test]
+    fn activity_blocks_fast_path() {
+        let g = HotGate::new();
+        g.add_activity(2);
+        assert_eq!(HotGate::activity(g.load()), 2);
+        assert!(!HotGate::is_quiescent(g.load(), 0));
+        g.sub_activity(1);
+        assert!(!HotGate::is_quiescent(g.load(), 0));
+        g.sub_activity(1);
+        assert!(HotGate::is_quiescent(g.load(), 0));
+    }
+
+    #[test]
+    fn drain_epoch_blocks_until_observed() {
+        let g = HotGate::new();
+        g.request_drain();
+        let w = g.load();
+        assert_eq!(HotGate::activity(w), 0);
+        assert!(!HotGate::is_quiescent(w, 0), "stale epoch must flush");
+        assert!(HotGate::is_quiescent(w, HotGate::epoch(w)));
+    }
+
+    #[test]
+    fn epoch_and_activity_do_not_interfere() {
+        let g = HotGate::new();
+        g.add_activity(5);
+        g.request_drain();
+        g.request_drain();
+        let w = g.load();
+        assert_eq!(HotGate::activity(w), 5);
+        assert_eq!(HotGate::epoch(w), 2);
+        g.sub_activity(5);
+        let w = g.load();
+        assert_eq!(HotGate::activity(w), 0);
+        assert_eq!(HotGate::epoch(w), 2);
+    }
+}

@@ -33,10 +33,14 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod audit;
+pub mod batch;
 pub mod clock;
 pub mod config;
 pub mod context;
 pub mod decay;
+pub mod epoch;
+pub mod gate;
 pub mod hb_infer;
 pub mod near_miss;
 pub mod phase;
@@ -55,6 +59,7 @@ pub use access::{classify_op, Access, ApiEntry, ObjId, OpKind, API_TABLE};
 pub use clock::{now_ns, Clock, ManualClock, RealClock};
 pub use config::TsvdConfig;
 pub use context::ContextId;
+pub use gate::HotGate;
 pub use report::{ReportSink, Violation};
 pub use runtime::Runtime;
 pub use sink::{DurableSink, ViolationRecord};

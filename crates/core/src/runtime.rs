@@ -9,14 +9,17 @@
 //! events through [`Runtime::on_sync`] (consumed only by TSVD-HB).
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use crate::access::{Access, ObjId, OpKind};
+use crate::audit;
+use crate::batch::{self, Offer};
 use crate::clock::now_ns;
 use crate::config::TsvdConfig;
 use crate::context;
-use crate::phase::PhaseBuffer;
+use crate::gate::HotGate;
+use crate::phase::{ContextRecency, PhaseBuffer};
 use crate::report::{Party, ReportSink, Violation};
 use crate::sink::DurableSink;
 use crate::site::SiteId;
@@ -36,6 +39,16 @@ pub struct Runtime {
     /// Phase buffer used only for coverage statistics (the TSVD strategy
     /// keeps its own for planning).
     coverage_phase: PhaseBuffer,
+    /// Time-based coverage concurrency estimate for *batched* events (see
+    /// [`crate::phase::ContextRecency`]).
+    coverage_recency: ContextRecency,
+    /// Single-word quiescence gate read by the batched fast path.
+    gate: Arc<HotGate>,
+    /// `true` iff `batch_capacity > 0` and the strategy opted in.
+    batching: bool,
+    /// Self-reference handed to thread-local buffers so their exit
+    /// destructors can flush back into this runtime.
+    weak_self: Weak<Runtime>,
     run_delay_ns: AtomicU64,
     /// Liveness monitor for injected delays (see [`crate::watchdog`]).
     watchdog: Watchdog,
@@ -69,12 +82,23 @@ impl Runtime {
                 }
             }
         });
-        Arc::new(Runtime {
+        // Gate wiring: every structure whose armed state must close the
+        // zero-trap fast path mirrors itself into one shared activity word.
+        let gate = Arc::new(HotGate::new());
+        strategy.attach_gate(&gate);
+        let traps = Arc::new(TrapTable::with_shards(config.trap_shards));
+        traps.attach_gate(gate.clone());
+        let batching = config.batch_capacity > 0 && strategy.supports_batching();
+        Arc::new_cyclic(|weak| Runtime {
             strategy,
-            traps: Arc::new(TrapTable::with_shards(config.trap_shards)),
+            traps,
             sink: ReportSink::new(),
             stats: RuntimeStats::with_shards(config.stats_shards),
             coverage_phase: PhaseBuffer::new(config.phase_buffer),
+            coverage_recency: ContextRecency::new(config.phase_buffer, config.near_miss_window_ns),
+            gate,
+            batching,
+            weak_self: weak.clone(),
             watchdog: Watchdog::new(&config),
             durable,
             config,
@@ -144,6 +168,14 @@ impl Runtime {
             time_ns: now_ns(),
         };
 
+        // Zero-trap fast path: while the gate is quiescent (no trap live,
+        // no pair armed, no drain pending) the access is captured in a
+        // thread-local buffer — one relaxed atomic load, no lock, no shared
+        // write — and analyzed at the next flush point.
+        if self.batching && batch::offer(self, &access) == Offer::Buffered {
+            return;
+        }
+
         let concurrent = self.coverage_phase.record_and_check(access.context);
         self.stats.record_call(site, concurrent);
 
@@ -203,6 +235,14 @@ impl Runtime {
                     );
                 }
             } else if self.delay_budget_allows(access.context, delay_ns) {
+                // Force-drain: bump the gate's drain epoch *before* the trap
+                // goes live, so every thread still buffering flushes its
+                // pre-arm observations at its next touch point — even if the
+                // trap is long gone by then.
+                if self.batching {
+                    self.gate.request_drain();
+                    self.stats.record_drain_request();
+                }
                 // RAII from here: the guard clears the trap and restores the
                 // live count even if anything below unwinds; the scope keeps
                 // the watchdog's delayed counters balanced the same way.
@@ -226,6 +266,7 @@ impl Runtime {
                 let end_ns = now_ns();
                 let slept = end_ns.saturating_sub(start_ns);
                 self.stats.record_delay(access.context, slept);
+                audit::note_shared_write();
                 self.run_delay_ns.fetch_add(slept, Ordering::Relaxed);
                 self.strategy
                     .on_delay_complete(&access, start_ns, end_ns, caught);
@@ -246,9 +287,72 @@ impl Runtime {
 
     /// Reports a synchronization event (fork/join/lock). TSVD ignores these
     /// by design; TSVD-HB builds its vector clocks from them.
+    ///
+    /// Synchronization is a flush point: buffered accesses are delivered
+    /// first, so ordering evidence never arrives ahead of the accesses that
+    /// preceded it on this thread.
     pub fn on_sync(&self, event: SyncEvent) {
+        if self.batching {
+            batch::flush_current(self);
+        }
         self.stats.record_sync();
         self.strategy.on_sync(&event);
+    }
+
+    /// Flushes the calling thread's local event buffer into the shared
+    /// analysis structures. Pool workers call this before idling or
+    /// exiting; it is a no-op when batching is off or nothing is buffered.
+    pub fn flush_thread_events(&self) {
+        if self.batching {
+            batch::flush_current(self);
+        }
+    }
+
+    /// Delivers a drained thread-local buffer: coverage and statistics for
+    /// every event, then the strategy's batch replay.
+    pub(crate) fn apply_batch(&self, events: &[Access], thread_exit: bool) {
+        self.stats.record_batch_flush(events.len() as u64);
+        if thread_exit {
+            self.stats.record_thread_exit_flush();
+        }
+        self.stats.record_calls_bulk(events.len() as u64);
+        for access in events {
+            let concurrent = self
+                .coverage_recency
+                .note_and_check(access.context, access.time_ns);
+            self.stats.record_coverage(access.site, concurrent);
+        }
+        self.strategy.on_batch(events);
+    }
+
+    /// The runtime's quiescence gate (read by the batched fast path).
+    pub(crate) fn gate(&self) -> &HotGate {
+        &self.gate
+    }
+
+    /// Capacity of each thread-local event buffer.
+    pub(crate) fn batch_capacity(&self) -> usize {
+        self.config.batch_capacity
+    }
+
+    /// A weak self-reference for thread-local buffers.
+    pub(crate) fn weak_self(&self) -> Weak<Runtime> {
+        self.weak_self.clone()
+    }
+
+    /// `true` when the thread-local batching fast path is active.
+    pub fn is_batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Events currently buffered on the *calling thread* for this runtime
+    /// (tests and diagnostics).
+    pub fn thread_buffered_events(&self) -> usize {
+        if self.batching {
+            batch::buffered_len(self)
+        } else {
+            0
+        }
     }
 
     fn delay_budget_allows(&self, ctx: context::ContextId, delay_ns: u64) -> bool {

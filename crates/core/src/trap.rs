@@ -16,12 +16,14 @@
 //! object*, so a checker only ever needs its own object's shard.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::access::{Access, ObjId};
+use crate::audit;
+use crate::gate::HotGate;
 
 const DEFAULT_SHARDS: usize = 16;
 
@@ -112,6 +114,9 @@ pub struct TrapTable {
     /// Live traps across all shards. Zero — the common case — makes
     /// [`check_for_trap`](TrapTable::check_for_trap) lock-free.
     live: AtomicUsize,
+    /// Optional hot gate mirroring the live count into the batching fast
+    /// path's activity word (see [`crate::gate`]).
+    gate: OnceLock<Arc<HotGate>>,
 }
 
 impl Default for TrapTable {
@@ -131,7 +136,15 @@ impl TrapTable {
         TrapTable {
             shards: (0..shards.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
             live: AtomicUsize::new(0),
+            gate: OnceLock::new(),
         }
+    }
+
+    /// Attaches the runtime's hot gate so every live-trap transition is
+    /// mirrored into its activity count. At most one gate per table; later
+    /// calls are ignored.
+    pub fn attach_gate(&self, gate: Arc<HotGate>) {
+        let _ = self.gate.set(gate);
     }
 
     /// The shard holding traps for `obj`. A conflict requires the same
@@ -148,20 +161,30 @@ impl TrapTable {
         // that loads 0 and skips can only miss a trap whose owner has not
         // finished arming it, which is indistinguishable from the access
         // having happened just before the trap was set.
+        audit::note_shared_write();
         self.live.fetch_add(1, Ordering::SeqCst);
+        if let Some(gate) = self.gate.get() {
+            gate.add_activity(1);
+        }
+        audit::note_lock();
         self.shard(entry.access.obj).lock().push(entry.clone());
         entry
     }
 
     /// Removes `entry` from the table (the owner woke up).
     pub fn clear_trap(&self, entry: &Arc<TrapEntry>) {
+        audit::note_lock();
         let mut shard = self.shard(entry.access.obj).lock();
         let before = shard.len();
         shard.retain(|t| !Arc::ptr_eq(t, entry));
         let removed = before - shard.len();
         drop(shard);
         if removed > 0 {
+            audit::note_shared_write();
             self.live.fetch_sub(removed, Ordering::SeqCst);
+            if let Some(gate) = self.gate.get() {
+                gate.sub_activity(removed as u64);
+            }
         }
     }
 
@@ -172,6 +195,7 @@ impl TrapTable {
         if self.live.load(Ordering::SeqCst) == 0 {
             return Vec::new();
         }
+        audit::note_lock();
         let shard = self.shard(access.obj).lock();
         let mut hit = Vec::new();
         for t in shard.iter() {
@@ -405,6 +429,25 @@ mod tests {
             assert!(!t.cancel(), "every trap was cancelled exactly once");
         }
         assert_eq!(table.cancel_all(), 0);
+    }
+
+    #[test]
+    fn attached_gate_tracks_live_traps() {
+        let table = TrapTable::new();
+        let gate = Arc::new(HotGate::new());
+        table.attach_gate(gate.clone());
+        let seen = HotGate::epoch(gate.load());
+        assert!(HotGate::is_quiescent(gate.load(), seen));
+        let trap = table.set_trap(acc(1, 7, OpKind::Write), None);
+        assert!(
+            !HotGate::is_quiescent(gate.load(), seen),
+            "a live trap must close the gate"
+        );
+        table.clear_trap(&trap);
+        assert!(
+            HotGate::is_quiescent(gate.load(), seen),
+            "clearing the last trap must reopen the gate"
+        );
     }
 
     #[test]

@@ -5,17 +5,30 @@
 //! between the two locations, or because a violation was already caught at
 //! the pair. Membership of a *location* in any pair is what makes
 //! `should_delay` eligible at that location.
+//!
+//! `contains_site` is consulted on every instrumented access once any pair
+//! is armed, so the set is kept as an immutable snapshot behind an
+//! [`EpochPtr`]: readers pin the epoch (one store to their own slot), load
+//! the pointer, and look up without any lock; writers (arming and pruning —
+//! rare) serialize on a mutex, clone the snapshot, mutate the clone, and
+//! swap it in, retiring the predecessor to the epoch collector. An atomic
+//! pair count still lets the empty set — a fresh run before any near miss —
+//! answer without even pinning.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 
+use crate::audit;
+use crate::epoch::EpochPtr;
+use crate::gate::HotGate;
 use crate::near_miss::SitePair;
 use crate::site::SiteId;
 
-#[derive(Default)]
-struct Inner {
+#[derive(Default, Clone)]
+struct Snapshot {
     pairs: HashSet<SitePair>,
     /// How many pairs each site participates in (for O(1) eligibility).
     site_refs: HashMap<SiteId, usize>,
@@ -23,16 +36,48 @@ struct Inner {
     found: HashSet<SitePair>,
 }
 
+impl Snapshot {
+    fn insert(&mut self, pair: SitePair) -> bool {
+        if self.found.contains(&pair) {
+            return false;
+        }
+        if self.pairs.insert(pair) {
+            *self.site_refs.entry(pair.first).or_insert(0) += 1;
+            if pair.second != pair.first {
+                *self.site_refs.entry(pair.second).or_insert(0) += 1;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn delete(&mut self, pair: SitePair) -> bool {
+        if self.pairs.remove(&pair) {
+            decref(&mut self.site_refs, pair.first);
+            if pair.second != pair.first {
+                decref(&mut self.site_refs, pair.second);
+            }
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Thread-safe set of dangerous pairs with per-site membership counts.
 ///
-/// `contains_site` is consulted on every instrumented access, so the set is
-/// read-mostly: lookups share a read lock, mutations (rare — arming and
-/// pruning) take the write lock, and an atomic pair count lets the empty
-/// set — a fresh run before any near miss — answer without locking at all.
+/// Readers are lock-free (epoch-pinned snapshot loads); writers serialize
+/// on an internal mutex and publish copy-on-write snapshots. When a
+/// [`HotGate`] is attached, the pair count is mirrored into the gate's
+/// activity word so the runtime's batched fast path shuts off the moment
+/// any pair arms.
 #[derive(Default)]
 pub struct TrapSet {
-    inner: RwLock<Inner>,
+    snapshot: EpochPtr<Snapshot>,
+    writer: Mutex<()>,
     pair_count: AtomicUsize,
+    gate: OnceLock<Arc<HotGate>>,
 }
 
 impl TrapSet {
@@ -41,68 +86,105 @@ impl TrapSet {
         Self::default()
     }
 
+    /// Mirrors pair-count changes into `gate`'s activity word. May be
+    /// called at most once; later calls are ignored.
+    pub fn attach_gate(&self, gate: Arc<HotGate>) {
+        let _ = self.gate.set(gate);
+    }
+
+    /// Clone-mutate-swap under the writer lock. `mutate` returns the op's
+    /// result plus how many pairs were added (+) or removed (−); the count
+    /// delta is mirrored into the pair counter and the attached gate.
+    fn write<R>(&self, mutate: impl FnOnce(&mut Snapshot) -> (R, isize)) -> R {
+        audit::note_lock();
+        let _w = self.writer.lock();
+        let mut next = self.snapshot.read(Clone::clone);
+        let (result, delta) = mutate(&mut next);
+        if delta != 0 {
+            audit::note_shared_write();
+            match delta {
+                d if d > 0 => {
+                    self.pair_count.fetch_add(d as usize, Ordering::Release);
+                    if let Some(gate) = self.gate.get() {
+                        gate.add_activity(d as u64);
+                    }
+                }
+                d => {
+                    self.pair_count.fetch_sub((-d) as usize, Ordering::Release);
+                    if let Some(gate) = self.gate.get() {
+                        gate.sub_activity((-d) as u64);
+                    }
+                }
+            }
+        }
+        audit::note_shared_write();
+        self.snapshot.swap(next);
+        result
+    }
+
     /// Adds `pair` unless it was already found buggy. Returns `true` if the
     /// pair is newly inserted.
     pub fn add(&self, pair: SitePair) -> bool {
-        let mut inner = self.inner.write();
-        if inner.found.contains(&pair) {
-            return false;
-        }
-        if inner.pairs.insert(pair) {
-            *inner.site_refs.entry(pair.first).or_insert(0) += 1;
-            if pair.second != pair.first {
-                *inner.site_refs.entry(pair.second).or_insert(0) += 1;
+        self.write(|s| {
+            let inserted = s.insert(pair);
+            (inserted, inserted as isize)
+        })
+    }
+
+    /// Adds every pair in `candidates` (in order) that is not already
+    /// present or found buggy, stopping once the set holds `max_len` pairs.
+    /// Returns the pairs actually inserted. One snapshot clone and one
+    /// publish regardless of how many pairs arm — the bulk path for trap
+    /// file imports.
+    pub fn add_many(&self, candidates: &[SitePair], max_len: usize) -> Vec<SitePair> {
+        self.write(|s| {
+            let mut inserted = Vec::new();
+            for &pair in candidates {
+                if s.pairs.len() >= max_len {
+                    break;
+                }
+                if s.insert(pair) {
+                    inserted.push(pair);
+                }
             }
-            self.pair_count.fetch_add(1, Ordering::Release);
-            true
-        } else {
-            false
-        }
+            let n = inserted.len() as isize;
+            (inserted, n)
+        })
     }
 
     /// Removes `pair` (HB-inferred prune). Returns `true` if it was present.
     pub fn remove(&self, pair: SitePair) -> bool {
-        let mut inner = self.inner.write();
-        if inner.pairs.remove(&pair) {
-            decref(&mut inner.site_refs, pair.first);
-            if pair.second != pair.first {
-                decref(&mut inner.site_refs, pair.second);
-            }
-            self.pair_count.fetch_sub(1, Ordering::Release);
-            true
-        } else {
-            false
-        }
+        self.write(|s| {
+            let removed = s.delete(pair);
+            (removed, -(removed as isize))
+        })
     }
 
     /// Marks `pair` as found buggy: removes it and blocks re-insertion.
     pub fn mark_found(&self, pair: SitePair) {
-        {
-            let mut inner = self.inner.write();
-            inner.found.insert(pair);
-        }
-        self.remove(pair);
+        self.write(|s| {
+            s.found.insert(pair);
+            let removed = s.delete(pair);
+            ((), -(removed as isize))
+        })
     }
 
     /// Removes every pair containing `site` (decay eviction), returning the
     /// removed pairs.
     pub fn remove_site(&self, site: SiteId) -> Vec<SitePair> {
-        let mut inner = self.inner.write();
-        let doomed: Vec<SitePair> = inner
-            .pairs
-            .iter()
-            .filter(|p| p.contains(site))
-            .copied()
-            .collect();
-        for pair in &doomed {
-            inner.pairs.remove(pair);
-            decref(&mut inner.site_refs, pair.first);
-            if pair.second != pair.first {
-                decref(&mut inner.site_refs, pair.second);
+        self.write(|s| {
+            let doomed: Vec<SitePair> = s
+                .pairs
+                .iter()
+                .filter(|p| p.contains(site))
+                .copied()
+                .collect();
+            for pair in &doomed {
+                s.delete(*pair);
             }
-        }
-        self.pair_count.fetch_sub(doomed.len(), Ordering::Release);
-        doomed
+            let n = doomed.len() as isize;
+            (doomed, -n)
+        })
     }
 
     /// Returns `true` if `site` participates in at least one pair.
@@ -110,33 +192,33 @@ impl TrapSet {
         if self.pair_count.load(Ordering::Acquire) == 0 {
             return false;
         }
-        self.inner
-            .read()
-            .site_refs
-            .get(&site)
-            .is_some_and(|&n| n > 0)
+        self.snapshot
+            .read(|s| s.site_refs.get(&site).is_some_and(|&n| n > 0))
     }
 
     /// Returns `true` if `pair` is currently in the set.
     pub fn contains(&self, pair: SitePair) -> bool {
-        self.inner.read().pairs.contains(&pair)
+        if self.pair_count.load(Ordering::Acquire) == 0 {
+            return false;
+        }
+        self.snapshot.read(|s| s.pairs.contains(&pair))
     }
 
     /// Returns the partner locations of every pair containing `site`
     /// (excluding `site` itself unless it self-pairs).
     pub fn partners(&self, site: SiteId) -> Vec<SiteId> {
-        self.inner
-            .read()
-            .pairs
-            .iter()
-            .filter(|p| p.contains(site))
-            .map(|p| p.other(site))
-            .collect()
+        self.snapshot.read(|s| {
+            s.pairs
+                .iter()
+                .filter(|p| p.contains(site))
+                .map(|p| p.other(site))
+                .collect()
+        })
     }
 
     /// Snapshot of all pairs (for trap-file export).
     pub fn pairs(&self) -> Vec<SitePair> {
-        self.inner.read().pairs.iter().copied().collect()
+        self.snapshot.read(|s| s.pairs.iter().copied().collect())
     }
 
     /// Number of pairs currently in the set.
@@ -147,6 +229,27 @@ impl TrapSet {
     /// Returns `true` if the set has no pairs.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Asserts the internal consistency of the *current* snapshot: the
+    /// site-reference counts must be exactly those derived from the pair
+    /// set. Readers racing a writer must only ever observe snapshots that
+    /// pass this check — a torn view would fail it.
+    #[cfg(test)]
+    fn assert_snapshot_consistent(&self) {
+        self.snapshot.read(|s| {
+            let mut derived: HashMap<SiteId, usize> = HashMap::new();
+            for p in &s.pairs {
+                *derived.entry(p.first).or_insert(0) += 1;
+                if p.second != p.first {
+                    *derived.entry(p.second).or_insert(0) += 1;
+                }
+            }
+            assert_eq!(
+                derived, s.site_refs,
+                "snapshot site_refs must match the pair set"
+            );
+        });
     }
 }
 
@@ -244,5 +347,97 @@ mod tests {
         let mut pairs = t.pairs();
         pairs.sort();
         assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn add_many_respects_budget_and_found_set() {
+        let t = TrapSet::new();
+        let found = SitePair::new(site(20), site(21));
+        t.add(found);
+        t.mark_found(found);
+        let candidates = [
+            found,
+            SitePair::new(site(22), site(23)),
+            SitePair::new(site(22), site(23)), // duplicate
+            SitePair::new(site(24), site(25)),
+            SitePair::new(site(26), site(27)), // over budget
+        ];
+        let inserted = t.add_many(&candidates, 2);
+        assert_eq!(inserted.len(), 2);
+        assert!(t.contains(SitePair::new(site(22), site(23))));
+        assert!(t.contains(SitePair::new(site(24), site(25))));
+        assert!(!t.contains(found), "found pairs never re-arm");
+        assert!(!t.contains(SitePair::new(site(26), site(27))));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn attached_gate_mirrors_pair_count() {
+        let t = TrapSet::new();
+        let gate = Arc::new(HotGate::new());
+        t.attach_gate(gate.clone());
+        t.add(SitePair::new(site(30), site(31)));
+        t.add(SitePair::new(site(30), site(32)));
+        assert_eq!(HotGate::activity(gate.load()), 2);
+        t.remove_site(site(30));
+        assert_eq!(HotGate::activity(gate.load()), 0);
+    }
+
+    /// Interleaving stress for the epoch swap: reader threads hammer the
+    /// lock-free read path while a writer churns arms and prunes. Every
+    /// observed snapshot must be internally consistent (site_refs derived
+    /// exactly from pairs), and an invariant pair that is never removed
+    /// must be visible in every snapshot. Catches torn reads, premature
+    /// reclamation (use-after-free would crash or desync), and lost
+    /// updates from the copy-on-write protocol.
+    #[test]
+    fn epoch_swap_interleaving_stress() {
+        let t = Arc::new(TrapSet::new());
+        let anchor = SitePair::new(site(100), site(101));
+        t.add(anchor);
+        let stop = Arc::new(AtomicUsize::new(0));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let t = t.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut reads = 0u64;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        assert!(t.contains(anchor), "anchor pair must never vanish");
+                        assert!(t.contains_site(site(100)));
+                        t.assert_snapshot_consistent();
+                        let partners = t.partners(site(102));
+                        // Any partner of a churned site must be a churned
+                        // site from the writer's working set.
+                        for p in partners {
+                            assert!(p == site(103) || p == site(104), "foreign partner {p:?}");
+                        }
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+        for round in 0..400 {
+            let a = SitePair::new(site(102), site(103));
+            let b = SitePair::new(site(102), site(104));
+            t.add(a);
+            t.add(b);
+            if round % 3 == 0 {
+                t.remove(a);
+                t.remove_site(site(102));
+            } else {
+                t.remove_site(site(102));
+            }
+            assert!(t.contains(anchor));
+        }
+        stop.store(1, Ordering::Relaxed);
+        let total: u64 = readers
+            .into_iter()
+            .map(|r| r.join().expect("reader panicked"))
+            .sum();
+        assert!(total > 0, "readers must actually have observed snapshots");
+        assert_eq!(t.len(), 1, "only the anchor survives the churn");
+        t.assert_snapshot_consistent();
     }
 }

@@ -151,16 +151,23 @@ fn statically_seeded_mean_runs_to_first_violation_stays_at_one() {
 #[test]
 fn dynamic_detector_needs_the_second_run_the_priors_remove() {
     // Run 1, unseeded: the near miss arms the pair but nothing traps.
-    let rt1 = Runtime::tsvd(config(100));
-    run_workload_once(&rt1);
-    assert_eq!(rt1.reports().unique_bugs(), 0);
-    let carried = rt1
-        .export_trap_file()
-        .expect("run 1 must export its trap set");
-    assert!(
-        !carried.to_pairs().is_empty(),
-        "the near miss must have armed the pair for run 2"
-    );
+    // Arming needs both tasks inside the near-miss window, so under a
+    // loaded parallel test run the scheduler can push them apart; retry
+    // with a fresh runtime like detection_e2e's `eventually` loops do.
+    let mut armed = None;
+    for attempt in 0..10 {
+        let rt1 = Runtime::tsvd(config(100 + 100 * attempt));
+        run_workload_once(&rt1);
+        assert_eq!(rt1.reports().unique_bugs(), 0);
+        let carried = rt1
+            .export_trap_file()
+            .expect("run 1 must export its trap set");
+        if !carried.to_pairs().is_empty() {
+            armed = Some(carried);
+            break;
+        }
+    }
+    let carried = armed.expect("the near miss must have armed the pair for run 2");
 
     // Run 2, seeded with run 1's dynamically learned trap file: caught.
     let mut caught = false;

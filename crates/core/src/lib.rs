@@ -45,6 +45,7 @@ pub mod hb_infer;
 pub mod near_miss;
 pub mod phase;
 pub mod report;
+pub mod rng;
 pub mod runtime;
 pub mod sink;
 pub mod site;
@@ -62,7 +63,7 @@ pub use context::ContextId;
 pub use gate::HotGate;
 pub use report::{ReportSink, Violation};
 pub use runtime::Runtime;
-pub use sink::{DurableSink, ViolationRecord};
+pub use sink::{DurableSink, ViolationRecord, VIOLATION_SCHEMA_VERSION};
 pub use site::SiteId;
 pub use strategy::{Strategy, SyncEvent};
 pub use trap_file::{PairOrigin, TrapFileData};

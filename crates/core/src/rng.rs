@@ -1,0 +1,89 @@
+//! SplitMix64: the workspace's deterministic, dependency-free RNG.
+//!
+//! Fault injection (harness chaos storms, fleet worker kills) and backoff
+//! jitter all need reproducible randomness that two processes can derive
+//! independently from a shared seed. SplitMix64 is the standard choice: one
+//! u64 of state, full-period, and a two-line step function — the same
+//! generator the chaos harness has used since PR 2, hoisted here so every
+//! crate draws from one implementation.
+
+/// Deterministic splitmix64 generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// Next 64 uniformly distributed bits.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: never exhausts
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// `true` with probability `p`/1000 — the unit fault-injection rates
+    /// are specified in.
+    pub fn per_mille(&mut self, p: u32) -> bool {
+        self.next() % 1000 < u64::from(p)
+    }
+
+    /// A value in `[0, bound)`; 0 when `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next() % bound
+        }
+    }
+}
+
+/// One stateless splitmix64 step: hashes `x` to an unrelated u64. Lets two
+/// processes agree on a decision keyed by structured input (worker id,
+/// attempt ordinal, ...) without sharing generator state.
+pub fn mix(x: u64) -> u64 {
+    SplitMix64::new(x).next()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn per_mille_extremes() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..50 {
+            assert!(!rng.per_mille(0));
+            assert!(rng.per_mille(1000));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..100 {
+            assert!(rng.below(10) < 10);
+        }
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn mix_is_stateless_and_stable() {
+        assert_eq!(mix(123), mix(123));
+        assert_ne!(mix(123), mix(124));
+    }
+}

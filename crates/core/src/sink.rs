@@ -28,10 +28,24 @@ use parking_lot::Mutex;
 
 use crate::report::Violation;
 
+/// Schema version stamped on every record this build writes. Version 1
+/// introduced the field itself; records loaded from files (or wire frames)
+/// written before it carry 0, the back-compat default. Readers accept any
+/// version at or below their own and must treat unknown *higher* versions
+/// as forward data whose known fields are still meaningful — the JSONL
+/// object shape only ever grows fields.
+pub const VIOLATION_SCHEMA_VERSION: u32 = 1;
+
 /// One durable violation record — the subset of [`Violation`] that survives
-/// serialization (sites become rendered location strings).
+/// serialization (sites become rendered location strings). Also the payload
+/// the fleet wire protocol streams from workers to the daemon, which is why
+/// it carries an explicit schema version.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ViolationRecord {
+    /// Serialization schema version (see [`VIOLATION_SCHEMA_VERSION`]);
+    /// 0 for records written before the field existed.
+    #[serde(default)]
+    pub schema: u32,
     /// Rendered static location of the trapped (delayed) side.
     pub location_trapped: String,
     /// Rendered static location of the side that walked into the trap.
@@ -52,6 +66,7 @@ impl ViolationRecord {
     /// Builds a record from a caught violation.
     pub fn from_violation(v: &Violation) -> ViolationRecord {
         ViolationRecord {
+            schema: VIOLATION_SCHEMA_VERSION,
             location_trapped: v.trapped.site.to_string(),
             location_hitter: v.hitter.site.to_string(),
             op_trapped: v.trapped.op_name.to_string(),
@@ -286,6 +301,61 @@ mod tests {
         }
         let records = DurableSink::load(&path).expect("load");
         assert_eq!(records.len(), 2, "reopen must append, not truncate");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_skips_torn_mid_file_frame_and_keeps_later_lines() {
+        // A tear need not be final: a crashed writer's partial line gets a
+        // newline appended when another handle (a respawned worker, a log
+        // concatenation) continues the file. Every intact line around the
+        // tear must survive.
+        let dir = temp_dir("torn_mid");
+        let path = dir.join("violations.jsonl");
+        let sink = DurableSink::create(&path, false).expect("create");
+        sink.append(&violation(1, 2)).expect("append");
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+            f.write_all(b"{\"location_trapped\":\"sink_te\n")
+                .expect("tear");
+        }
+        sink.append(&violation(3, 4)).expect("append after tear");
+        sink.append(&violation(5, 6)).expect("append after tear");
+        let records = DurableSink::load(&path).expect("load");
+        assert_eq!(records.len(), 3, "valid lines after a torn frame survive");
+        assert_eq!(records[1].pair_key(), {
+            let r = ViolationRecord::from_violation(&violation(3, 4));
+            r.pair_key()
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn schema_version_round_trips_and_defaults_on_old_files() {
+        let dir = temp_dir("schema");
+        let path = dir.join("violations.jsonl");
+        let sink = DurableSink::create(&path, false).expect("create");
+        sink.append(&violation(1, 2)).expect("append");
+        // A line written by a pre-schema build: no `schema` key at all.
+        {
+            use std::io::Write;
+            let mut f = OpenOptions::new().append(true).open(&path).expect("open");
+            f.write_all(
+                b"{\"location_trapped\":\"old.rs:1:1\",\"location_hitter\":\"old.rs:2:2\",\
+                  \"op_trapped\":\"x.write\",\"op_hitter\":\"x.read\",\"obj\":3,\
+                  \"time_ns\":9,\"read_write\":true}\n",
+            )
+            .expect("write old-format line");
+        }
+        let records = DurableSink::load(&path).expect("load");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].schema, VIOLATION_SCHEMA_VERSION);
+        assert_eq!(records[1].schema, 0, "pre-schema records load as version 0");
+        // And the new record's version survives a full JSON round trip.
+        let json = serde_json::to_string(&records[0]).expect("serialize");
+        let back: ViolationRecord = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, records[0]);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,175 @@
+//! Deterministic fault injection for fleet runs (`repro fleet --chaos`).
+//!
+//! Faults are decided purely from `(plan seed, worker slot, incarnation,
+//! assignment ordinal)` through a stateless SplitMix64 mix, so a chaos run
+//! is reproducible from its seed alone: the same worker incarnation working
+//! through the same assignments misbehaves at the same points every time,
+//! regardless of scheduling races in the daemon. The plan travels to worker
+//! processes in the `TSVD_FLEET_CHAOS` environment variable.
+
+use tsvd_core::rng::mix;
+
+/// Environment variable carrying the plan to worker processes.
+pub const CHAOS_ENV: &str = "TSVD_FLEET_CHAOS";
+
+/// What a worker does to itself on a chaos-selected assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultDecision {
+    /// Run the module normally.
+    None,
+    /// Abort the process mid-module — the supervisor sees EOF on the socket
+    /// and must harvest the execution's sink and re-queue the module.
+    Kill,
+    /// Stop heartbeating and wedge — the supervisor's hang timeout must
+    /// fire, kill the process, and re-queue.
+    Stall,
+    /// Write half a `Done` frame and abort — the reader must detect the
+    /// torn frame instead of misparsing it.
+    Torn,
+}
+
+/// A fleet chaos plan: per-assignment fault probabilities in per-mille.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Plan seed (also the reproduction handle).
+    pub seed: u64,
+    /// Probability of [`FaultDecision::Kill`], ‰.
+    pub kill_per_mille: u16,
+    /// Probability of [`FaultDecision::Stall`], ‰.
+    pub stall_per_mille: u16,
+    /// Probability of [`FaultDecision::Torn`], ‰.
+    pub torn_per_mille: u16,
+    /// How long a stalled worker wedges before exiting, milliseconds.
+    pub stall_ms: u64,
+}
+
+impl ChaosPlan {
+    /// A moderate default: per assignment, 8 % kill, 2 % stall, 4 % torn.
+    pub fn standard(seed: u64) -> ChaosPlan {
+        ChaosPlan {
+            seed,
+            kill_per_mille: 80,
+            stall_per_mille: 20,
+            torn_per_mille: 40,
+            stall_ms: 2_000,
+        }
+    }
+
+    /// Renders as the `seed:kill:stall:torn:stall_ms` env-var form.
+    pub fn to_env(&self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}",
+            self.seed,
+            self.kill_per_mille,
+            self.stall_per_mille,
+            self.torn_per_mille,
+            self.stall_ms
+        )
+    }
+
+    /// Parses the env-var form.
+    pub fn from_env(text: &str) -> Result<ChaosPlan, String> {
+        let parts: Vec<&str> = text.split(':').collect();
+        let [seed, kill, stall, torn, stall_ms] = parts.as_slice() else {
+            return Err(format!("bad chaos plan `{text}`"));
+        };
+        let bad = |what: &str| format!("bad chaos plan `{text}`: unparseable {what}");
+        Ok(ChaosPlan {
+            seed: seed.parse().map_err(|_| bad("seed"))?,
+            kill_per_mille: kill.parse().map_err(|_| bad("kill"))?,
+            stall_per_mille: stall.parse().map_err(|_| bad("stall"))?,
+            torn_per_mille: torn.parse().map_err(|_| bad("torn"))?,
+            stall_ms: stall_ms.parse().map_err(|_| bad("stall_ms"))?,
+        })
+    }
+
+    /// Reads the plan from [`CHAOS_ENV`], if set.
+    pub fn from_process_env() -> Option<ChaosPlan> {
+        let text = std::env::var(CHAOS_ENV).ok()?;
+        match ChaosPlan::from_env(&text) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                eprintln!("tsvd-fleet: ignoring {CHAOS_ENV}: {e}");
+                None
+            }
+        }
+    }
+
+    /// The deterministic fault decision for one assignment: `ordinal` is
+    /// the count of assignments this worker incarnation has accepted so
+    /// far. Probability bands are stacked, so one uniform draw decides.
+    pub fn decide(&self, worker: usize, incarnation: u64, ordinal: u64) -> FaultDecision {
+        let x = mix(self.seed
+            ^ mix((worker as u64).wrapping_add(1))
+            ^ mix(incarnation.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            ^ ordinal);
+        let draw = (x % 1000) as u16;
+        let kill_end = self.kill_per_mille;
+        let stall_end = kill_end + self.stall_per_mille;
+        let torn_end = stall_end + self.torn_per_mille;
+        if draw < kill_end {
+            FaultDecision::Kill
+        } else if draw < stall_end {
+            FaultDecision::Stall
+        } else if draw < torn_end {
+            FaultDecision::Torn
+        } else {
+            FaultDecision::None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_round_trips_through_env_form() {
+        let plan = ChaosPlan::standard(1234);
+        assert_eq!(ChaosPlan::from_env(&plan.to_env()).unwrap(), plan);
+        assert!(ChaosPlan::from_env("1:2:3").is_err());
+        assert!(ChaosPlan::from_env("a:b:c:d:e").is_err());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_vary_by_inputs() {
+        let plan = ChaosPlan::standard(7);
+        for worker in 0..4 {
+            for ordinal in 0..50 {
+                assert_eq!(
+                    plan.decide(worker, 0, ordinal),
+                    plan.decide(worker, 0, ordinal)
+                );
+            }
+        }
+        // Across a few hundred draws the standard plan must actually
+        // trigger each fault type (it is a probabilistic plan, but the
+        // draws are fixed by the seed, so this is a stable assertion).
+        let mut kinds = std::collections::HashSet::new();
+        for worker in 0..8 {
+            for inc in 0..4 {
+                for ordinal in 0..32 {
+                    kinds.insert(plan.decide(worker, inc, ordinal));
+                }
+            }
+        }
+        assert!(kinds.contains(&FaultDecision::None));
+        assert!(kinds.contains(&FaultDecision::Kill));
+        assert!(kinds.contains(&FaultDecision::Stall));
+        assert!(kinds.contains(&FaultDecision::Torn));
+    }
+
+    #[test]
+    fn zero_plan_never_faults() {
+        let plan = ChaosPlan {
+            seed: 9,
+            kill_per_mille: 0,
+            stall_per_mille: 0,
+            torn_per_mille: 0,
+            stall_ms: 0,
+        };
+        for ordinal in 0..200 {
+            assert_eq!(plan.decide(0, 0, ordinal), FaultDecision::None);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Fleet mode: fault-tolerant, supervised multi-process TSVD runs.
+//!
+//! The paper runs TSVD "during testing" at cluster scale, where worker
+//! processes hang, crash, and get preempted as a matter of course; finding
+//! thousands of bugs requires the *campaign* to survive every one of those
+//! failures without losing a caught violation or re-running finished work.
+//! This crate is that layer:
+//!
+//! - [`runner`] — the single-process suite runner (modules, detectors,
+//!   outcomes), shared by the sequential harness and fleet workers;
+//! - [`wire`] — the length-prefixed JSONL socket protocol between daemon
+//!   and workers, grown from the durable-sink record format;
+//! - [`worker`] — the worker process loop (`repro serve`);
+//! - [`supervisor`] — the daemon (`repro fleet`): sharding, heartbeats,
+//!   hang detection, retry with capped backoff, quarantine, degradation;
+//! - [`ledger`] — the write-ahead JSONL ledger every decision goes through
+//!   first, making runs crash-resumable (`repro fleet --resume`) and
+//!   exactly reconcilable against worker sinks;
+//! - [`chaos`] — deterministic fault injection (`repro fleet --chaos`)
+//!   proving the recovery paths in CI;
+//! - [`suites`] — process-independent suite specs workers rebuild modules
+//!   from (module bodies are closures and never cross the socket).
+
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod ledger;
+pub mod runner;
+pub mod suites;
+pub mod supervisor;
+pub mod wire;
+pub mod worker;
+
+pub use chaos::{ChaosPlan, FaultDecision, CHAOS_ENV};
+pub use ledger::{replay, verify, Ledger, LedgerEvent, LedgerState, VerifySummary};
+pub use runner::{DetectorKind, ModuleOutcome, ModuleRun, RunOptions, SuiteOutcome};
+pub use suites::SuiteSpec;
+pub use supervisor::{run_fleet, FleetError, FleetOptions, FleetReport};
+pub use wire::{Frame, WIRE_SCHEMA_VERSION};
+pub use worker::{serve_worker, WorkerOptions};

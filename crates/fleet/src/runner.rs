@@ -120,6 +120,27 @@ pub enum ModuleOutcome {
     TimedOut,
 }
 
+impl ModuleOutcome {
+    /// Stable textual form used by the fleet wire protocol and ledger.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModuleOutcome::Completed => "completed",
+            ModuleOutcome::Panicked => "panicked",
+            ModuleOutcome::TimedOut => "timed_out",
+        }
+    }
+
+    /// Inverse of [`ModuleOutcome::as_str`].
+    pub fn parse(text: &str) -> Option<ModuleOutcome> {
+        match text {
+            "completed" => Some(ModuleOutcome::Completed),
+            "panicked" => Some(ModuleOutcome::Panicked),
+            "timed_out" => Some(ModuleOutcome::TimedOut),
+            _ => None,
+        }
+    }
+}
+
 /// Result of [`run_module_once`]: the runtime (reports, stats, trap file)
 /// plus how the execution ended.
 pub struct ModuleRun {

@@ -1,0 +1,203 @@
+//! Suite specs: how a fleet worker rebuilds its module list.
+//!
+//! Workers are separate processes, so modules cannot be shipped over the
+//! socket (their bodies are closures). Instead the daemon sends only a
+//! *spec string* and a module index; every process rebuilds the same
+//! deterministic suite from the spec — the suite generator guarantees
+//! same-config-same-modules — and runs the one module it was assigned.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use tsvd_workloads::module::{Expectation, Module};
+use tsvd_workloads::suite::{build_suite, SuiteConfig};
+
+/// A parseable, process-independent description of a module list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SuiteSpec {
+    /// The standard generated benchmark suite: `std:<modules>:<seed>`.
+    Std {
+        /// Module count.
+        modules: usize,
+        /// Suite seed.
+        seed: u64,
+    },
+    /// Fault-injection fixture, `flaky:<modules>:<dir>`: every module
+    /// panics on its first execution (before any marker file exists in
+    /// `dir`) and completes on retries — exercises panic-retry accounting
+    /// across processes.
+    Flaky {
+        /// Module count.
+        modules: usize,
+        /// Marker directory recording which modules already ran once.
+        dir: PathBuf,
+    },
+    /// Fault-injection fixture, `sleepy:<modules>:<ms>:<dir>`: every module
+    /// sleeps `ms` milliseconds on its first execution (blowing any shorter
+    /// deadline, so the outcome is `timed_out`) and completes instantly on
+    /// retries — exercises timeout-retry accounting.
+    Sleepy {
+        /// Module count.
+        modules: usize,
+        /// First-execution sleep, milliseconds.
+        ms: u64,
+        /// Marker directory recording which modules already ran once.
+        dir: PathBuf,
+    },
+}
+
+impl SuiteSpec {
+    /// Parses the textual form used on the command line and the wire.
+    pub fn parse(text: &str) -> Result<SuiteSpec, String> {
+        let parts: Vec<&str> = text.split(':').collect();
+        let bad = |why: &str| format!("bad suite spec `{text}`: {why}");
+        match parts.as_slice() {
+            ["std", n, seed] => Ok(SuiteSpec::Std {
+                modules: n.parse().map_err(|_| bad("module count"))?,
+                seed: seed.parse().map_err(|_| bad("seed"))?,
+            }),
+            ["flaky", n, dir @ ..] if !dir.is_empty() => Ok(SuiteSpec::Flaky {
+                modules: n.parse().map_err(|_| bad("module count"))?,
+                dir: PathBuf::from(dir.join(":")),
+            }),
+            ["sleepy", n, ms, dir @ ..] if !dir.is_empty() => Ok(SuiteSpec::Sleepy {
+                modules: n.parse().map_err(|_| bad("module count"))?,
+                ms: ms.parse().map_err(|_| bad("sleep ms"))?,
+                dir: PathBuf::from(dir.join(":")),
+            }),
+            _ => Err(bad(
+                "expected std:<n>:<seed>, flaky:<n>:<dir>, or sleepy:<n>:<ms>:<dir>",
+            )),
+        }
+    }
+
+    /// Renders back to the textual form (`parse` ∘ `to_arg` = identity).
+    pub fn to_arg(&self) -> String {
+        match self {
+            SuiteSpec::Std { modules, seed } => format!("std:{modules}:{seed}"),
+            SuiteSpec::Flaky { modules, dir } => format!("flaky:{modules}:{}", dir.display()),
+            SuiteSpec::Sleepy { modules, ms, dir } => {
+                format!("sleepy:{modules}:{ms}:{}", dir.display())
+            }
+        }
+    }
+
+    /// Number of modules in the suite.
+    pub fn modules(&self) -> usize {
+        match self {
+            SuiteSpec::Std { modules, .. }
+            | SuiteSpec::Flaky { modules, .. }
+            | SuiteSpec::Sleepy { modules, .. } => *modules,
+        }
+    }
+
+    /// Builds the full deterministic module list.
+    pub fn build(&self) -> Vec<Module> {
+        match self {
+            SuiteSpec::Std { modules, seed } => build_suite(SuiteConfig {
+                modules: *modules,
+                seed: *seed,
+            }),
+            SuiteSpec::Flaky { modules, dir } => (0..*modules)
+                .map(|i| first_attempt_fixture(i, dir.clone(), FirstAttempt::Panic))
+                .collect(),
+            SuiteSpec::Sleepy { modules, ms, dir } => {
+                let sleep = Duration::from_millis(*ms);
+                (0..*modules)
+                    .map(|i| first_attempt_fixture(i, dir.clone(), FirstAttempt::Sleep(sleep)))
+                    .collect()
+            }
+        }
+    }
+}
+
+enum FirstAttempt {
+    Panic,
+    Sleep(Duration),
+}
+
+/// A module that misbehaves exactly once. The "has this module run before"
+/// bit must survive the worker process dying, so it lives on disk as a
+/// marker file in the shared directory.
+fn first_attempt_fixture(index: usize, dir: PathBuf, mode: FirstAttempt) -> Module {
+    let name = match mode {
+        FirstAttempt::Panic => format!("flaky{index:04}"),
+        FirstAttempt::Sleep(_) => format!("sleepy{index:04}"),
+    };
+    Module::new(name, 1, Expectation::Clean, false, "List", move |_ctx| {
+        let marker = dir.join(format!("ran_{index:04}.marker"));
+        if !marker.exists() {
+            // Marker before misbehaving: the *next* execution must succeed
+            // even though this one never returns normally.
+            let _ = std::fs::create_dir_all(&dir);
+            let _ = std::fs::write(&marker, b"1");
+            match mode {
+                FirstAttempt::Panic => panic!("flaky module {index} first execution"),
+                FirstAttempt::Sleep(d) => std::thread::sleep(d),
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_through_text() {
+        let specs = [
+            SuiteSpec::Std {
+                modules: 100,
+                seed: 7,
+            },
+            SuiteSpec::Flaky {
+                modules: 3,
+                dir: PathBuf::from("/tmp/markers"),
+            },
+            SuiteSpec::Sleepy {
+                modules: 2,
+                ms: 250,
+                dir: PathBuf::from("/tmp/markers"),
+            },
+        ];
+        for spec in specs {
+            assert_eq!(SuiteSpec::parse(&spec.to_arg()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        assert!(SuiteSpec::parse("std:abc:1").is_err());
+        assert!(SuiteSpec::parse("std:5").is_err());
+        assert!(SuiteSpec::parse("martian:5:1").is_err());
+        assert!(SuiteSpec::parse("flaky:5").is_err());
+    }
+
+    #[test]
+    fn std_spec_builds_the_same_suite_in_any_process() {
+        let spec = SuiteSpec::parse("std:8:42").unwrap();
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.len(), 8);
+        let names = |s: &[Module]| s.iter().map(|m| m.name().to_owned()).collect::<Vec<_>>();
+        assert_eq!(names(&a), names(&b));
+    }
+
+    #[test]
+    fn flaky_module_panics_once_then_completes() {
+        let dir = std::env::temp_dir().join(format!("tsvd_flaky_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = SuiteSpec::Flaky {
+            modules: 1,
+            dir: dir.clone(),
+        };
+        let module = spec.build().remove(0);
+        let rt = tsvd_core::Runtime::noop(tsvd_core::TsvdConfig::for_testing());
+        let ctx = tsvd_workloads::module::ModuleCtx::new(rt, 1);
+        let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| module.run(&ctx)));
+        assert!(first.is_err(), "first execution must panic");
+        let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| module.run(&ctx)));
+        assert!(second.is_ok(), "second execution must complete");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

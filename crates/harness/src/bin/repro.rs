@@ -19,9 +19,253 @@ fn usage() -> ! {
          [--modules N] [--runs N] [--seed N] [--scale F] [--threads N]\n\
          \x20      repro analyze [--root DIR] [--allowlist FILE] [--jsonl FILE] \
          [--emit-traps FILE] [--deny-escapes]\n\
-         \x20      repro analyze --score STATIC DYNAMIC [--baseline FILE] [--jsonl FILE]"
+         \x20      repro analyze --score STATIC DYNAMIC [--baseline FILE] [--jsonl FILE]\n\
+         \x20      repro fleet [--modules N] [--workers N] [--waves N] [--seed N] [--scale F] \
+         [--threads N] [--deadline-ms N] [--suite SPEC] [--ledger FILE] [--sink-dir DIR] \
+         [--chaos SEED] [--resume LEDGER] [--compare] [--quiet]\n\
+         \x20      repro serve --socket PATH --worker N --incarnation N --suite SPEC \
+         --sink-dir DIR [--threads N] [--scale F] [--seed N] [--deadline-ms N] [--heartbeat-ms N]"
     );
     std::process::exit(2);
+}
+
+/// `repro serve`: the fleet worker entry point. Spawned by the `repro
+/// fleet` daemon; connects back over the given Unix socket and runs
+/// assigned modules until told to shut down. Exit codes: 0 clean shutdown,
+/// 1 lost daemon or bad arguments (the daemon treats both as a death).
+fn run_serve_cmd(args: &[String]) -> ! {
+    let mut opts = tsvd_fleet::WorkerOptions {
+        socket: std::path::PathBuf::new(),
+        worker: 0,
+        incarnation: 0,
+        suite: String::new(),
+        sink_dir: std::path::PathBuf::new(),
+        threads: 2,
+        scale: 0.02,
+        seed: 0,
+        deadline_ms: 30_000,
+        heartbeat_ms: 100,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            usage()
+        };
+        match flag {
+            "--socket" => opts.socket = std::path::PathBuf::from(value),
+            "--worker" => opts.worker = value.parse().unwrap_or_else(|_| usage()),
+            "--incarnation" => opts.incarnation = value.parse().unwrap_or_else(|_| usage()),
+            "--suite" => opts.suite = value.clone(),
+            "--sink-dir" => opts.sink_dir = std::path::PathBuf::from(value),
+            "--threads" => opts.threads = value.parse().unwrap_or_else(|_| usage()),
+            "--scale" => opts.scale = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => opts.seed = value.parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => opts.deadline_ms = value.parse().unwrap_or_else(|_| usage()),
+            "--heartbeat-ms" => opts.heartbeat_ms = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if opts.socket.as_os_str().is_empty() || opts.suite.is_empty() {
+        usage();
+    }
+    match tsvd_fleet::serve_worker(&opts) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("repro serve: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro fleet`: run (or `--resume`) a supervised multi-process fleet and
+/// verify the ledger reconciles exactly against the worker sinks. With
+/// `--compare`, also run the identical suite sequentially in-process and
+/// print both wall-clock times. Exit codes: 0 ok, 1 fleet failure or
+/// reconciliation violation, 2 usage.
+fn run_fleet_cmd(args: &[String]) -> ! {
+    let mut modules = 200usize;
+    let mut workers = 4usize;
+    let mut waves = 2usize;
+    let mut threads = 2usize;
+    let mut scale = 0.02f64;
+    let mut seed = 0x534D_414Cu64;
+    let mut deadline_ms = 30_000u64;
+    let mut suite_arg: Option<String> = None;
+    let mut ledger_path: Option<std::path::PathBuf> = None;
+    let mut sink_dir: Option<std::path::PathBuf> = None;
+    let mut chaos_seed: Option<u64> = None;
+    let mut resume: Option<std::path::PathBuf> = None;
+    let mut compare = false;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--compare" => {
+                compare = true;
+                i += 1;
+                continue;
+            }
+            "--quiet" => {
+                quiet = true;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            usage()
+        };
+        match flag {
+            "--modules" => modules = value.parse().unwrap_or_else(|_| usage()),
+            "--workers" => workers = value.parse().unwrap_or_else(|_| usage()),
+            "--waves" => waves = value.parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = value.parse().unwrap_or_else(|_| usage()),
+            "--scale" => scale = value.parse().unwrap_or_else(|_| usage()),
+            "--seed" => seed = value.parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => deadline_ms = value.parse().unwrap_or_else(|_| usage()),
+            "--suite" => suite_arg = Some(value.clone()),
+            "--ledger" => ledger_path = Some(std::path::PathBuf::from(value)),
+            "--sink-dir" => sink_dir = Some(std::path::PathBuf::from(value)),
+            "--chaos" => chaos_seed = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--resume" => resume = Some(std::path::PathBuf::from(value)),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    let spec = match &suite_arg {
+        Some(text) => tsvd_fleet::SuiteSpec::parse(text).unwrap_or_else(|e| {
+            eprintln!("repro fleet: {e}");
+            std::process::exit(2);
+        }),
+        None => tsvd_fleet::SuiteSpec::Std { modules, seed },
+    };
+    let run_dir = std::env::temp_dir().join(format!("tsvd_fleet_{}", std::process::id()));
+    let ledger = match &resume {
+        Some(path) => path.clone(),
+        None => ledger_path.unwrap_or_else(|| run_dir.join("ledger.jsonl")),
+    };
+    let sinks = sink_dir.unwrap_or_else(|| {
+        ledger
+            .parent()
+            .map(|p| p.join("sinks"))
+            .unwrap_or_else(|| run_dir.join("sinks"))
+    });
+
+    let mut options = tsvd_fleet::FleetOptions::standard(spec.clone(), ledger.clone(), sinks);
+    options.workers = workers;
+    options.waves = waves;
+    options.threads = threads;
+    options.scale = scale;
+    options.seed = seed;
+    options.deadline_ms = deadline_ms;
+    options.chaos = chaos_seed.map(tsvd_fleet::ChaosPlan::standard);
+    options.resume = resume.is_some();
+    options.quiet = quiet;
+
+    let report = match tsvd_fleet::run_fleet(options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro fleet: {e}");
+            std::process::exit(1);
+        }
+    };
+    let fleet_secs = report.wall_ns as f64 / 1e9;
+    println!(
+        "fleet: {} module execution(s) done, {} violation pair(s), {} retr(ies), \
+         {} worker death(s), {} quarantined, {fleet_secs:.1}s",
+        report.completed,
+        report.violations,
+        report.retries,
+        report.deaths,
+        report.quarantined.len(),
+    );
+
+    // Reconciliation: the ledger must agree *exactly* with the union of
+    // the per-execution worker sinks — chaos or not.
+    let events = match tsvd_fleet::Ledger::load(&report.ledger) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("repro fleet: cannot reload ledger: {e}");
+            std::process::exit(1);
+        }
+    };
+    let state = tsvd_fleet::replay(&events);
+    let recorded_sink_dir = state
+        .start
+        .as_ref()
+        .map(|s| s.sink_dir.clone())
+        .unwrap_or_default();
+    match tsvd_fleet::verify(&events, &recorded_sink_dir) {
+        Ok(summary) => println!(
+            "ledger reconciles: {} done event(s), {} quarantined, \
+             {} ledger pair(s) == {} sink pair(s)",
+            summary.done, summary.quarantined, summary.violations, summary.sink_pairs
+        ),
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("repro fleet: invariant violated: {e}");
+            }
+            std::process::exit(1);
+        }
+    }
+    println!("[ledger: {}]", report.ledger.display());
+
+    if compare {
+        let suite = spec.build();
+        let run_options = tsvd_fleet::RunOptions {
+            config: {
+                let mut c = tsvd_core::TsvdConfig::paper().scaled(scale);
+                c.seed = seed;
+                c
+            },
+            threads,
+            runs: waves,
+            shared_trap_file: false,
+            module_deadline: Some(std::time::Duration::from_millis(deadline_ms)),
+            static_priors: None,
+        };
+        let outcome =
+            tsvd_fleet::runner::run_suite(&suite, tsvd_fleet::DetectorKind::Tsvd, &run_options);
+        let seq_secs = outcome.total_wall_ns() as f64 / 1e9;
+        println!(
+            "sequential baseline: {} unique bug(s), {seq_secs:.1}s wall \
+             (fleet {fleet_secs:.1}s on {workers} workers, speedup {:.2}x)",
+            outcome.total_bugs(),
+            seq_secs / fleet_secs.max(1e-9),
+        );
+
+        // Runs-to-first-violation on both sides. Fleet side: each ledger
+        // Violation event is a first catch (dedup happens before logging);
+        // the wave barrier means an event logged while wave w assignments
+        // are in flight belongs to wave w, so attribute by event order.
+        let mut wave_now = 0usize;
+        let mut fleet_firsts: Vec<usize> = Vec::new();
+        for ev in &events {
+            match ev {
+                tsvd_fleet::LedgerEvent::Assign(a) => wave_now = wave_now.max(a.wave),
+                tsvd_fleet::LedgerEvent::Violation(_) => fleet_firsts.push(wave_now + 1),
+                _ => {}
+            }
+        }
+        let mean =
+            |firsts: &[usize]| firsts.iter().sum::<usize>() as f64 / (firsts.len().max(1)) as f64;
+        let seq_firsts: Vec<usize> = outcome.bugs.values().copied().collect();
+        println!(
+            "runs to first violation: fleet mean {:.2} ({}/{} in wave 1), \
+             sequential mean {:.2} ({}/{} in run 1)",
+            mean(&fleet_firsts),
+            fleet_firsts.iter().filter(|w| **w == 1).count(),
+            fleet_firsts.len(),
+            mean(&seq_firsts),
+            seq_firsts.iter().filter(|r| **r == 1).count(),
+            seq_firsts.len(),
+        );
+    }
+    std::process::exit(0);
 }
 
 /// `repro analyze`: run the static front end over a source tree.
@@ -242,6 +486,9 @@ fn run_chaos_cmd(opts: &ExpOpts) {
         }
         Err(failure) => {
             eprintln!("{failure}");
+            // Keep the durable sink on failure — it is the crash evidence —
+            // and say where it is, so the reproducing run is debuggable.
+            eprintln!("[durable sink kept: {}]", sink_path.display());
             std::process::exit(1);
         }
     }
@@ -288,6 +535,12 @@ fn main() {
     let Some(which) = args.first() else { usage() };
     if which == "analyze" {
         run_analyze_cmd(&args[1..]);
+    }
+    if which == "serve" {
+        run_serve_cmd(&args[1..]);
+    }
+    if which == "fleet" {
+        run_fleet_cmd(&args[1..]);
     }
     let opts = parse_opts(&args[1..]);
 

@@ -21,7 +21,10 @@
 //! - [`vc`](tsvd_vc) — immutable AVL-map vector clocks (TSVD-HB);
 //! - [`workloads`](tsvd_workloads) — the planted-bug benchmark corpus;
 //! - [`harness`](tsvd_harness) — the experiment runner regenerating every
-//!   table and figure of the paper's evaluation.
+//!   table and figure of the paper's evaluation;
+//! - [`fleet`](tsvd_fleet) — fault-tolerant multi-process fleet mode:
+//!   supervised workers with retry, quarantine, and a crash-resumable
+//!   write-ahead ledger.
 //!
 //! # Examples
 //!
@@ -54,6 +57,7 @@
 pub use tsvd_analyze as analyze;
 pub use tsvd_collections as collections;
 pub use tsvd_core as core;
+pub use tsvd_fleet as fleet;
 pub use tsvd_harness as harness;
 pub use tsvd_tasks as tasks;
 pub use tsvd_vc as vc;

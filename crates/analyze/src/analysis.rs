@@ -449,6 +449,7 @@ fn find_sites(
                             let op = format!("{}.{}", b.class, method.text);
                             if let Some(kind) = classify_op(&op) {
                                 let region = parens.iter().rev().find_map(|p| *p).unwrap_or(0);
+                                let active = locks.active();
                                 pass.sites.push(SiteCtx {
                                     site: StaticSite {
                                         file: file.to_string(),
@@ -459,11 +460,12 @@ fn find_sites(
                                         method: method.text.clone(),
                                         kind: kind_str(kind).to_string(),
                                         region,
+                                        guards: guard_strings(&active),
                                     },
                                     region,
                                     tok_index: i,
                                     kind,
-                                    locks: locks.active(),
+                                    locks: active,
                                     hops: b.hops,
                                 });
                             }
@@ -557,6 +559,7 @@ fn find_sites(
                                             method: op.method.clone(),
                                             kind: kind_str(op.kind).to_string(),
                                             region,
+                                            guards: guard_strings(&site_locks),
                                         },
                                         region,
                                         tok_index: i,
@@ -586,6 +589,23 @@ fn find_sites(
         }
     }
     pass
+}
+
+/// Renders held locks as sorted `root:mode` strings for the site database
+/// (what the repair pass reads to name a reusable guard).
+fn guard_strings(locks: &[(String, GuardMode)]) -> Vec<String> {
+    let mut out: Vec<String> = locks
+        .iter()
+        .map(|(root, mode)| {
+            let mode = match mode {
+                GuardMode::Exclusive => "exclusive",
+                GuardMode::Shared => "shared",
+            };
+            format!("{root}:{mode}")
+        })
+        .collect();
+    out.sort();
+    out
 }
 
 /// Adds a held lock, upgrading to exclusive when both modes appear.

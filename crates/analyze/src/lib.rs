@@ -38,6 +38,8 @@ pub mod analysis;
 pub mod callgraph;
 pub mod lexer;
 pub mod lockset;
+pub mod patch;
+pub mod repair;
 pub mod report;
 pub mod score;
 pub mod walk;

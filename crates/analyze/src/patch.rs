@@ -1,0 +1,262 @@
+//! Unified-diff rendering for span-anchored fix suggestions.
+//!
+//! The repair pass never applies an edit; it *shows* one. This module
+//! turns a small set of line edits against a source file into a standard
+//! unified diff (`--- a/…` / `+++ b/…` / `@@` hunks) that a human can
+//! read, a terminal can colorize, and `git apply` could take verbatim.
+//! Rendering is a pure function of (file text, edits), so the CI baseline
+//! can gate suggestions byte-for-byte.
+
+/// One line-granular edit: replace `deleted` original lines starting at
+/// `start` (1-based) with `lines`. `deleted == 0` inserts *before*
+/// `start`; `start == line_count + 1` with `deleted == 0` appends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEdit {
+    /// 1-based first original line the edit touches.
+    pub start: u32,
+    /// How many original lines are removed (0 = pure insertion).
+    pub deleted: u32,
+    /// Replacement lines (empty = pure deletion).
+    pub lines: Vec<String>,
+}
+
+impl SpanEdit {
+    /// Inserts `lines` before original line `start`.
+    pub fn insert_before(start: u32, lines: Vec<String>) -> SpanEdit {
+        SpanEdit {
+            start,
+            deleted: 0,
+            lines,
+        }
+    }
+
+    /// Replaces the single original line `line` with `lines`.
+    pub fn replace_line(line: u32, lines: Vec<String>) -> SpanEdit {
+        SpanEdit {
+            start: line,
+            deleted: 1,
+            lines,
+        }
+    }
+
+    /// Deletes the single original line `line`.
+    pub fn delete_line(line: u32) -> SpanEdit {
+        SpanEdit {
+            start: line,
+            deleted: 1,
+            lines: Vec::new(),
+        }
+    }
+}
+
+/// Renders `edits` against `original` as a unified diff with `context`
+/// lines of context. Edits are sorted internally; returns `None` when any
+/// edit falls outside the file or two edits overlap — a malformed
+/// suggestion must degrade to "no diff", never to a wrong one.
+pub fn render_unified(
+    file: &str,
+    original: &str,
+    edits: &[SpanEdit],
+    context: u32,
+) -> Option<String> {
+    if edits.is_empty() {
+        return None;
+    }
+    let orig: Vec<&str> = original.lines().collect();
+    let len = orig.len() as u32;
+    let mut sorted: Vec<&SpanEdit> = edits.iter().collect();
+    sorted.sort_by_key(|e| (e.start, e.deleted));
+    for e in &sorted {
+        let valid = e.start >= 1
+            && (e.start + e.deleted).checked_sub(1)? <= len
+            && (e.deleted > 0 || e.start <= len + 1);
+        if !valid {
+            return None;
+        }
+    }
+    for w in sorted.windows(2) {
+        if w[0].start + w[0].deleted > w[1].start {
+            return None; // overlapping edits
+        }
+    }
+
+    // Group edits whose context windows touch into one hunk.
+    let mut groups: Vec<Vec<&SpanEdit>> = Vec::new();
+    for e in sorted {
+        match groups.last_mut() {
+            Some(group) => {
+                let last = group.last().expect("non-empty group");
+                let last_end = last.start + last.deleted; // first line after the edit
+                if e.start.saturating_sub(context) <= last_end.saturating_add(context) {
+                    group.push(e);
+                } else {
+                    groups.push(vec![e]);
+                }
+            }
+            None => groups.push(vec![e]),
+        }
+    }
+
+    let mut out = format!("--- a/{file}\n+++ b/{file}\n");
+    let mut delta: i64 = 0; // new-file minus old-file lines, before this hunk
+    for group in groups {
+        let first = group.first().expect("non-empty");
+        let last = group.last().expect("non-empty");
+        let old_start = first.start.saturating_sub(context).max(1);
+        let old_end = (last.start + last.deleted)
+            .saturating_sub(1)
+            .saturating_add(context)
+            .min(len); // inclusive; may be < old_start for an empty file
+        let mut body = String::new();
+        let mut old_count: u32 = 0;
+        let mut new_count: u32 = 0;
+        let mut pos = old_start; // 1-based cursor into the original
+        for e in &group {
+            while pos < e.start {
+                body.push_str(&format!(" {}\n", orig[(pos - 1) as usize]));
+                pos += 1;
+                old_count += 1;
+                new_count += 1;
+            }
+            for _ in 0..e.deleted {
+                body.push_str(&format!("-{}\n", orig[(pos - 1) as usize]));
+                pos += 1;
+                old_count += 1;
+            }
+            for l in &e.lines {
+                body.push_str(&format!("+{l}\n"));
+                new_count += 1;
+            }
+        }
+        while pos <= old_end {
+            body.push_str(&format!(" {}\n", orig[(pos - 1) as usize]));
+            pos += 1;
+            old_count += 1;
+            new_count += 1;
+        }
+        // Unified-diff convention: a zero-length range anchors to the line
+        // *before* the position.
+        let shown_old_start = if old_count == 0 {
+            old_start.saturating_sub(1)
+        } else {
+            old_start
+        };
+        let new_start = if new_count == 0 {
+            (i64::from(shown_old_start) + delta).max(0) as u32
+        } else {
+            (i64::from(old_start) + delta).max(1) as u32
+        };
+        out.push_str(&format!(
+            "@@ -{shown_old_start},{old_count} +{new_start},{new_count} @@\n"
+        ));
+        out.push_str(&body);
+        delta += group
+            .iter()
+            .map(|e| e.lines.len() as i64 - i64::from(e.deleted))
+            .sum::<i64>();
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str =
+        "fn main() {\n    let d = Dictionary::new();\n    d.set(1, 1);\n    d.get(&1);\n}\n";
+
+    #[test]
+    fn insertion_renders_one_hunk_with_context() {
+        let diff = render_unified(
+            "a.rs",
+            SRC,
+            &[SpanEdit::insert_before(
+                3,
+                vec!["    let _g = m.lock();".to_string()],
+            )],
+            1,
+        )
+        .expect("diff");
+        assert_eq!(
+            diff,
+            "--- a/a.rs\n+++ b/a.rs\n\
+             @@ -2,2 +2,3 @@\n\
+             \x20    let d = Dictionary::new();\n\
+             +    let _g = m.lock();\n\
+             \x20    d.set(1, 1);\n"
+        );
+    }
+
+    #[test]
+    fn replacement_shows_minus_and_plus() {
+        let diff = render_unified(
+            "a.rs",
+            SRC,
+            &[SpanEdit::replace_line(
+                2,
+                vec!["    let d = Arc::new(Dictionary::new());".to_string()],
+            )],
+            0,
+        )
+        .expect("diff");
+        assert!(diff.contains("-    let d = Dictionary::new();\n"));
+        assert!(diff.contains("+    let d = Arc::new(Dictionary::new());\n"));
+        assert!(diff.contains("@@ -2,1 +2,1 @@"));
+    }
+
+    #[test]
+    fn nearby_edits_merge_into_one_hunk_distant_ones_do_not() {
+        let one_hunk = render_unified(
+            "a.rs",
+            SRC,
+            &[
+                SpanEdit::insert_before(3, vec!["    // A".to_string()]),
+                SpanEdit::insert_before(4, vec!["    // B".to_string()]),
+            ],
+            1,
+        )
+        .expect("diff");
+        assert_eq!(one_hunk.matches("@@").count(), 2, "one @@ pair = one hunk");
+
+        let many = "l1\nl2\nl3\nl4\nl5\nl6\nl7\nl8\nl9\nl10\n";
+        let two_hunks = render_unified(
+            "b.rs",
+            many,
+            &[
+                SpanEdit::insert_before(1, vec!["// top".to_string()]),
+                SpanEdit::insert_before(10, vec!["// bottom".to_string()]),
+            ],
+            1,
+        )
+        .expect("diff");
+        assert_eq!(two_hunks.matches("@@").count(), 4, "two separate hunks");
+        // The second hunk's new-file start accounts for the first insertion.
+        assert!(two_hunks.contains("@@ -9,2 +10,3 @@"), "{two_hunks}");
+    }
+
+    #[test]
+    fn out_of_range_or_overlapping_edits_degrade_to_none() {
+        assert!(render_unified("a.rs", SRC, &[], 1).is_none());
+        assert!(render_unified("a.rs", SRC, &[SpanEdit::delete_line(99)], 1).is_none());
+        assert!(render_unified(
+            "a.rs",
+            SRC,
+            &[SpanEdit::replace_line(2, vec![]), SpanEdit::delete_line(2)],
+            1
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn append_at_end_of_file_is_valid() {
+        let diff = render_unified(
+            "a.rs",
+            "only line\n",
+            &[SpanEdit::insert_before(2, vec!["appended".to_string()])],
+            1,
+        )
+        .expect("diff");
+        assert!(diff.contains("+appended\n"));
+        assert!(diff.contains(" only line\n"));
+    }
+}

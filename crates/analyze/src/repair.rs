@@ -1,0 +1,733 @@
+//! From detection to repair: classify confirmed violations into fix
+//! patterns and render span-anchored patch suggestions.
+//!
+//! A TSVD report names two sites caught red-handed; this pass answers the
+//! question the report leaves open — *what do I change?* Each dynamic
+//! violation is joined (by interned [`SiteId`]) against the static site
+//! database, pair candidates, and lockset evidence from the analyzer, then
+//! classified into one of the recurring fix shapes real concurrency fixes
+//! cluster around:
+//!
+//! - **extend-existing-guard** — one side already runs under a lock; wrap
+//!   the other side in the same lock.
+//! - **adopt-safe-collection** — the site uses a raw std collection the
+//!   escape lint flagged; move to the instrumented wrapper.
+//! - **order-by-join** — a main-thread access races a spawned task; join
+//!   the handle before the access.
+//! - **channel-transfer** — the sender keeps touching a value after
+//!   handing it over a channel; move the access above the send.
+//! - **narrow-critical-section** — both sides hold locks that do not
+//!   exclude each other (different locks, shared read guards, or a guard
+//!   region narrower than assumed); unify or upgrade the guard.
+//! - **wrap-in-mutex** — no guard anywhere; serialize behind a new mutex.
+//! - **generic** — the sites miss the static database entirely; degrade
+//!   to a report, never a panic.
+//!
+//! Suggestions are *rendered* as unified diffs, never applied. Confidence
+//! is the static pair's grade scaled by how directly the guard evidence
+//! supports the pattern.
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+
+use tsvd_core::sink::{normalize_pair, ViolationRecord};
+use tsvd_core::suggest::{self, SuggestionRecord, SUGGESTION_SCHEMA_VERSION};
+use tsvd_core::SiteId;
+
+use crate::patch::{render_unified, SpanEdit};
+use crate::report::{AnalysisReport, Escape, StaticPair, StaticSite};
+
+/// Context lines around each suggested edit.
+const DIFF_CONTEXT: u32 = 2;
+
+/// Per-pattern confidence scaling: how directly the evidence backing the
+/// pattern supports the suggested edit.
+fn pattern_factor(pattern: &str) -> f64 {
+    match pattern {
+        "extend-existing-guard" => 0.95,
+        "adopt-safe-collection" => 0.9,
+        "order-by-join" => 0.9,
+        "narrow-critical-section" => 0.85,
+        "wrap-in-mutex" => 0.8,
+        "channel-transfer" => 0.7,
+        _ => 0.2,
+    }
+}
+
+/// Raw std collection → instrumented `tsvd_collections` wrapper.
+const RAW_TO_WRAPPER: &[(&str, &str)] = &[
+    ("HashMap", "Dictionary"),
+    ("HashSet", "HashSet"),
+    ("BTreeMap", "SortedList"),
+    ("BTreeSet", "SortedSet"),
+    ("VecDeque", "Queue"),
+    ("LinkedList", "LinkedDeque"),
+    ("BinaryHeap", "PriorityQueue"),
+];
+
+/// `file:line:column` → (file, line, column).
+fn split_site_text(text: &str) -> Option<(String, u32, u32)> {
+    let mut it = text.rsplitn(3, ':');
+    let column: u32 = it.next()?.parse().ok()?;
+    let line: u32 = it.next()?.parse().ok()?;
+    let file = it.next()?;
+    if file.is_empty() {
+        return None;
+    }
+    Some((file.to_string(), line, column))
+}
+
+fn round4(x: f64) -> f64 {
+    (x * 10_000.0).round() / 10_000.0
+}
+
+/// One classified endpoint of a violation.
+struct Endpoint<'a> {
+    text: String,
+    file: String,
+    line: u32,
+    site: Option<&'a StaticSite>,
+}
+
+/// Everything the classifier produced for one violation, before rendering.
+struct Classified {
+    pattern: &'static str,
+    title: String,
+    note: String,
+    /// Confidence basis before the pattern factor (the pair grade, or a
+    /// fallback when the evidence is dynamic-only).
+    basis: f64,
+    /// Edits against the anchor file ((line-anchored); empty = no diff.
+    edits: Vec<SpanEdit>,
+    /// File the edits (and the anchor) live in.
+    anchor_file: String,
+    anchor_line: u32,
+}
+
+/// Infers ranked fix suggestions for `violations` against the analyzer's
+/// `report`. `root` is the directory the report's file paths are relative
+/// to; source files are read from it to render diffs (an unreadable file
+/// degrades the suggestion to diff-less, never an error).
+pub fn infer(
+    report: &AnalysisReport,
+    violations: &[ViolationRecord],
+    root: &Path,
+) -> Vec<SuggestionRecord> {
+    // Site database keyed by interned id: the same interner dynamic sites
+    // go through, so textual spellings that normalize differently still
+    // join (that is the point of interning).
+    let mut sites: HashMap<SiteId, &StaticSite> = HashMap::new();
+    for s in &report.sites {
+        if let Some(id) = SiteId::parse(&s.site_text()) {
+            sites.entry(id).or_insert(s);
+        }
+    }
+    // Pair candidates keyed by interned id pair (normalized order). Kept
+    // pairs override pruned ones; a pruned pair that shows up here anyway
+    // is a confirmed analysis miss and still deserves a suggestion.
+    let mut pairs: HashMap<(SiteId, SiteId), &StaticPair> = HashMap::new();
+    for p in report.pruned_pairs.iter().chain(report.pairs.iter()) {
+        let (a, b) = normalize_pair(&p.first, &p.second);
+        if let (Some(ia), Some(ib)) = (SiteId::parse(&a), SiteId::parse(&b)) {
+            pairs.insert((ia, ib), p);
+        }
+    }
+    let escapes: HashMap<(String, u32), &Escape> = report
+        .escapes
+        .iter()
+        .map(|e| ((e.file.clone(), e.line), e))
+        .collect();
+
+    let mut sources: HashMap<String, Option<String>> = HashMap::new();
+    let mut read_source = |file: &str| -> Option<String> {
+        sources
+            .entry(file.to_string())
+            .or_insert_with(|| std::fs::read_to_string(root.join(file)).ok())
+            .clone()
+    };
+
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    let mut out: Vec<SuggestionRecord> = Vec::new();
+    for v in violations {
+        let key = normalize_pair(&v.location_trapped, &v.location_hitter);
+        if !seen.insert(key.clone()) {
+            continue;
+        }
+        let endpoint = |text: &str| -> Endpoint<'_> {
+            let (file, line) = split_site_text(text)
+                .map(|(f, l, _)| (f, l))
+                .unwrap_or_else(|| (text.to_string(), 0));
+            Endpoint {
+                text: text.to_string(),
+                file,
+                line,
+                site: SiteId::parse(text).and_then(|id| sites.get(&id)).copied(),
+            }
+        };
+        let a = endpoint(&key.0);
+        let b = endpoint(&key.1);
+        let pair = match (SiteId::parse(&key.0), SiteId::parse(&key.1)) {
+            (Some(ia), Some(ib)) => pairs.get(&(ia, ib)).copied(),
+            _ => None,
+        };
+
+        let c = classify(&a, &b, pair, &escapes, &mut read_source);
+        let diff = if c.edits.is_empty() {
+            String::new()
+        } else {
+            read_source(&c.anchor_file)
+                .and_then(|src| render_unified(&c.anchor_file, &src, &c.edits, DIFF_CONTEXT))
+                .unwrap_or_default()
+        };
+        let (span_start, span_end) = c
+            .edits
+            .iter()
+            .map(|e| (e.start, e.start + e.deleted.max(1) - 1))
+            .fold(None, |acc: Option<(u32, u32)>, (s, e)| {
+                Some(match acc {
+                    Some((lo, hi)) => (lo.min(s), hi.max(e)),
+                    None => (s, e),
+                })
+            })
+            .unwrap_or((c.anchor_line, c.anchor_line));
+        let mut rationale = format!(
+            "trapped {} ({}), hitter {} ({})",
+            v.location_trapped, v.op_trapped, v.location_hitter, v.op_hitter
+        );
+        if let Some(p) = pair {
+            rationale.push_str(&format!(
+                "; static pair: reason {}, guard {}, provenance {}, confidence {:.4}",
+                p.reason, p.guard, p.provenance, p.confidence
+            ));
+        }
+        if !c.note.is_empty() {
+            rationale.push_str("; ");
+            rationale.push_str(&c.note);
+        }
+        if !c.edits.is_empty() && diff.is_empty() {
+            rationale.push_str("; source unavailable, no diff rendered");
+        }
+        let receiver = pair
+            .map(|p| p.receiver.clone())
+            .or_else(|| a.site.map(|s| s.receiver.clone()))
+            .or_else(|| b.site.map(|s| s.receiver.clone()))
+            .unwrap_or_else(|| "?".to_string());
+        out.push(SuggestionRecord {
+            schema: SUGGESTION_SCHEMA_VERSION,
+            pattern: c.pattern.to_string(),
+            title: c.title,
+            file: c.anchor_file,
+            line: c.anchor_line,
+            span_start,
+            span_end,
+            first: key.0,
+            second: key.1,
+            receiver,
+            confidence: round4((c.basis * pattern_factor(c.pattern)).clamp(0.0, 1.0)),
+            rationale,
+            diff,
+        });
+    }
+    suggest::rank(&mut out);
+    out
+}
+
+/// The classifier proper. Pure over its inputs except for `read_source`,
+/// which pulls file text for the edit scanners.
+fn classify(
+    a: &Endpoint<'_>,
+    b: &Endpoint<'_>,
+    pair: Option<&StaticPair>,
+    escapes: &HashMap<(String, u32), &Escape>,
+    read_source: &mut dyn FnMut(&str) -> Option<String>,
+) -> Classified {
+    // Raw-collection escapes outrank everything: the accesses bypass the
+    // detector entirely, so no lock-level fix can be graded for them.
+    for e in [a, b] {
+        if let Some(esc) = escapes.get(&(e.file.clone(), e.line)) {
+            return adopt_safe_collection(esc, pair, read_source);
+        }
+    }
+
+    let basis = pair.map_or(0.5, |p| {
+        if p.confidence > 0.0 {
+            p.confidence
+        } else {
+            // A pruned pair confirmed dynamically: the pruning was wrong,
+            // grade the fix on the dynamic evidence alone.
+            0.5
+        }
+    });
+    let guard = pair.map(|p| p.guard.as_str()).unwrap_or_else(|| {
+        // Dynamic-only pair: synthesize guard evidence from the per-site
+        // lock sets recorded in the site database.
+        match (a.site, b.site) {
+            (Some(sa), Some(sb)) => match (sa.guards.is_empty(), sb.guards.is_empty()) {
+                (false, true) | (true, false) => "one-side-guarded",
+                (true, true) => "none",
+                (false, false) => "inconsistent-locks",
+            },
+            _ => "unknown",
+        }
+    });
+
+    if a.site.is_none() && b.site.is_none() {
+        return Classified {
+            pattern: "generic",
+            title: format!(
+                "no static context for {} / {}; review the access pair manually",
+                a.text, b.text
+            ),
+            note: "sites missing from the static database".to_string(),
+            basis: 1.0,
+            edits: Vec::new(),
+            anchor_file: a.file.clone(),
+            anchor_line: a.line,
+        };
+    }
+
+    match guard {
+        "one-side-guarded" => extend_existing_guard(a, b, basis, read_source),
+        "inconsistent-locks" => narrow_unify_locks(a, b, basis, read_source),
+        "shared-guard" => narrow_upgrade_read_guard(a, b, basis, read_source),
+        g if g.starts_with("both-guarded") => narrow_extend_region(a, b, g, basis, read_source),
+        "channel-transfer" => channel_transfer(a, b, basis, read_source),
+        _ => {
+            if pair.map(|p| p.reason.as_str()) == Some("main-vs-spawned") {
+                order_by_join(a, b, basis, read_source)
+            } else {
+                wrap_in_mutex(a, b, pair, basis, read_source)
+            }
+        }
+    }
+}
+
+fn indent_of(line: &str) -> String {
+    line.chars().take_while(|c| c.is_whitespace()).collect()
+}
+
+/// The 1-based source line's text, if it exists.
+fn line_text(src: &str, line: u32) -> Option<&str> {
+    if line == 0 {
+        return None;
+    }
+    src.lines().nth((line - 1) as usize)
+}
+
+/// Scans upward from `from` (inclusive) for the nearest line whose text
+/// satisfies `pred`; returns (line number, text).
+fn scan_up(src: &str, from: u32, pred: impl Fn(&str) -> bool) -> Option<(u32, &str)> {
+    let lines: Vec<&str> = src.lines().collect();
+    let start = (from as usize).min(lines.len());
+    (0..start)
+        .rev()
+        .map(|i| (i as u32 + 1, lines[i]))
+        .find(|(_, text)| pred(text))
+}
+
+fn adopt_safe_collection(
+    esc: &Escape,
+    pair: Option<&StaticPair>,
+    read_source: &mut dyn FnMut(&str) -> Option<String>,
+) -> Classified {
+    let wrapper = RAW_TO_WRAPPER
+        .iter()
+        .find(|(raw, _)| *raw == esc.name)
+        .map(|(_, w)| *w)
+        .unwrap_or("Dictionary");
+    let mut edits = Vec::new();
+    if let Some(src) = read_source(&esc.file) {
+        if let Some(text) = line_text(&src, esc.line) {
+            if text.contains(&esc.name) {
+                edits.push(SpanEdit::replace_line(
+                    esc.line,
+                    vec![text.replace(&esc.name, wrapper)],
+                ));
+            }
+        }
+    }
+    Classified {
+        pattern: "adopt-safe-collection",
+        title: format!(
+            "replace raw `{}` with `tsvd_collections::{}` at {}:{}",
+            esc.name, wrapper, esc.file, esc.line
+        ),
+        note: format!(
+            "escape lint: raw `{}` via {} in concurrent code ({})",
+            esc.name, esc.via, esc.evidence
+        ),
+        basis: pair.map_or(1.0, |p| p.confidence.max(0.5)),
+        edits,
+        anchor_file: esc.file.clone(),
+        anchor_line: esc.line,
+    }
+}
+
+fn extend_existing_guard(
+    a: &Endpoint<'_>,
+    b: &Endpoint<'_>,
+    basis: f64,
+    read_source: &mut dyn FnMut(&str) -> Option<String>,
+) -> Classified {
+    // The guarded side names the lock; the unguarded side gets the edit.
+    let (guarded, target) = match (a.site, b.site) {
+        (Some(sa), _) if !sa.guards.is_empty() => (a, b),
+        (_, Some(sb)) if !sb.guards.is_empty() => (b, a),
+        _ => (a, b),
+    };
+    let lock = guarded
+        .site
+        .map(|s| s.guards.first().cloned().unwrap_or_default())
+        .unwrap_or_default();
+    let root = lock.split(':').next().unwrap_or("lock").to_string();
+    let mut edits = Vec::new();
+    if let Some(src) = read_source(&target.file) {
+        if let Some(text) = line_text(&src, target.line) {
+            let indent = indent_of(text);
+            edits.push(SpanEdit::insert_before(
+                target.line,
+                vec![format!("{indent}let _guard = {root}.lock();")],
+            ));
+        }
+    }
+    Classified {
+        pattern: "extend-existing-guard",
+        title: format!(
+            "wrap {} in the `{}` lock already guarding {}",
+            target.text, root, guarded.text
+        ),
+        note: format!("lock evidence on the guarded side: {lock}"),
+        basis,
+        edits,
+        anchor_file: target.file.clone(),
+        anchor_line: target.line,
+    }
+}
+
+fn narrow_unify_locks(
+    a: &Endpoint<'_>,
+    b: &Endpoint<'_>,
+    basis: f64,
+    read_source: &mut dyn FnMut(&str) -> Option<String>,
+) -> Classified {
+    let lock_of = |e: &Endpoint<'_>| {
+        e.site
+            .and_then(|s| s.guards.first().cloned())
+            .unwrap_or_default()
+    };
+    let (lock_a, lock_b) = (lock_of(a), lock_of(b));
+    let root_a = lock_a.split(':').next().unwrap_or("lock").to_string();
+    let root_b = lock_b.split(':').next().unwrap_or("lock").to_string();
+    // Rewrite B's guard acquisition to take A's lock.
+    let mut edits = Vec::new();
+    if let Some(src) = read_source(&b.file) {
+        if let Some((line_no, text)) = scan_up(&src, b.line, |t| {
+            t.contains(".lock()") || t.contains(".write()") || t.contains(".read()")
+        }) {
+            let indent = indent_of(text);
+            let name = text
+                .trim_start()
+                .strip_prefix("let ")
+                .and_then(|rest| rest.split(['=', ' ', ':']).next())
+                .unwrap_or("_guard");
+            edits.push(SpanEdit::replace_line(
+                line_no,
+                vec![format!("{indent}let {name} = {root_a}.lock();")],
+            ));
+        }
+    }
+    Classified {
+        pattern: "narrow-critical-section",
+        title: format!("guard both sides with `{root_a}` (currently `{root_a}` vs `{root_b}`)"),
+        note: "the two sides hold different locks, which do not exclude each other".to_string(),
+        basis,
+        edits,
+        anchor_file: b.file.clone(),
+        anchor_line: b.line,
+    }
+}
+
+fn narrow_upgrade_read_guard(
+    a: &Endpoint<'_>,
+    b: &Endpoint<'_>,
+    basis: f64,
+    read_source: &mut dyn FnMut(&str) -> Option<String>,
+) -> Classified {
+    // Both sides hold shared read guards; the writing side needs exclusive.
+    let target = match (a.site, b.site) {
+        (Some(sa), _) if sa.kind == "write" => a,
+        (_, Some(sb)) if sb.kind == "write" => b,
+        _ => a,
+    };
+    let mut edits = Vec::new();
+    if let Some(src) = read_source(&target.file) {
+        if let Some((line_no, text)) = scan_up(&src, target.line, |t| t.contains(".read()")) {
+            edits.push(SpanEdit::replace_line(
+                line_no,
+                vec![text.replace(".read()", ".write()")],
+            ));
+        }
+    }
+    Classified {
+        pattern: "narrow-critical-section",
+        title: format!(
+            "upgrade the shared read guard to a write guard around {}",
+            target.text
+        ),
+        note: "two read guards on the same lock do not exclude each other".to_string(),
+        basis,
+        edits,
+        anchor_file: target.file.clone(),
+        anchor_line: target.line,
+    }
+}
+
+fn narrow_extend_region(
+    a: &Endpoint<'_>,
+    b: &Endpoint<'_>,
+    guard: &str,
+    basis: f64,
+    read_source: &mut dyn FnMut(&str) -> Option<String>,
+) -> Classified {
+    // Pruned as both-guarded yet dynamically confirmed: the shared guard's
+    // region must be narrower than the analysis assumed. Re-acquire it at
+    // the later site.
+    let root = guard.split(':').nth(1).unwrap_or("lock").to_string();
+    let target = if (b.file.as_str(), b.line) >= (a.file.as_str(), a.line) {
+        b
+    } else {
+        a
+    };
+    let mut edits = Vec::new();
+    if let Some(src) = read_source(&target.file) {
+        if let Some(text) = line_text(&src, target.line) {
+            let indent = indent_of(text);
+            edits.push(SpanEdit::insert_before(
+                target.line,
+                vec![format!("{indent}let _guard = {root}.lock();")],
+            ));
+        }
+    }
+    Classified {
+        pattern: "narrow-critical-section",
+        title: format!(
+            "the `{root}` critical section does not cover {}; re-acquire it there",
+            target.text
+        ),
+        note: "statically pruned as both-guarded, yet confirmed dynamically — the guard \
+               region is narrower than assumed"
+            .to_string(),
+        basis,
+        edits,
+        anchor_file: target.file.clone(),
+        anchor_line: target.line,
+    }
+}
+
+fn channel_transfer(
+    a: &Endpoint<'_>,
+    b: &Endpoint<'_>,
+    basis: f64,
+    read_source: &mut dyn FnMut(&str) -> Option<String>,
+) -> Classified {
+    // The sender keeps using the value after tx.send(..): move the access
+    // above the transfer. Target = the endpoint with a send above it.
+    let mut chosen: Option<(&Endpoint<'_>, u32, String, String)> = None;
+    for e in [a, b] {
+        if let Some(src) = read_source(&e.file) {
+            if let Some((send_line, send_text)) = scan_up(&src, e.line, |t| t.contains(".send(")) {
+                if let Some(access_text) = line_text(&src, e.line) {
+                    chosen = Some((e, send_line, send_text.to_string(), access_text.to_string()));
+                    break;
+                }
+            }
+        }
+    }
+    let Some((target, send_line, _send_text, access_text)) = chosen else {
+        return Classified {
+            pattern: "channel-transfer",
+            title: format!(
+                "ownership of the value racing at {} / {} was channel-transferred; \
+                 stop accessing it after the send",
+                a.text, b.text
+            ),
+            note: "no `.send(` found near either site to anchor an edit".to_string(),
+            basis,
+            edits: Vec::new(),
+            anchor_file: a.file.clone(),
+            anchor_line: a.line,
+        };
+    };
+    let edits = vec![
+        SpanEdit::insert_before(send_line, vec![access_text]),
+        SpanEdit::delete_line(target.line),
+    ];
+    Classified {
+        pattern: "channel-transfer",
+        title: format!(
+            "move the post-send access at {} above the channel transfer",
+            target.text
+        ),
+        note: "the sender must not touch a value after handing it over the channel".to_string(),
+        basis,
+        edits,
+        anchor_file: target.file.clone(),
+        anchor_line: target.line,
+    }
+}
+
+fn order_by_join(
+    a: &Endpoint<'_>,
+    b: &Endpoint<'_>,
+    basis: f64,
+    read_source: &mut dyn FnMut(&str) -> Option<String>,
+) -> Classified {
+    // The main-thread side is the one at region 0 (outside every spawn).
+    let main = match (a.site, b.site) {
+        (Some(sa), _) if sa.region == 0 => a,
+        (_, Some(sb)) if sb.region == 0 => b,
+        _ => a,
+    };
+    let mut edits = Vec::new();
+    let mut note = String::new();
+    if let Some(src) = read_source(&main.file) {
+        if let Some((spawn_line, spawn_text)) = scan_up(&src, main.line, |t| t.contains(".spawn("))
+        {
+            let indent = indent_of(spawn_text);
+            let site_indent = line_text(&src, main.line)
+                .map(indent_of)
+                .unwrap_or_default();
+            let handle = spawn_text
+                .trim_start()
+                .strip_prefix("let ")
+                .and_then(|rest| rest.split(['=', ' ', ':']).next())
+                .filter(|n| !n.is_empty());
+            match handle {
+                Some(name) => {
+                    edits.push(SpanEdit::insert_before(
+                        main.line,
+                        vec![format!("{site_indent}let _ = {name}.join();")],
+                    ));
+                    note = format!("spawned handle `{name}` bound at line {spawn_line}");
+                }
+                None => {
+                    // The handle is dropped on the floor; bind it first.
+                    edits.push(SpanEdit::replace_line(
+                        spawn_line,
+                        vec![format!(
+                            "{indent}let _join_handle = {}",
+                            spawn_text.trim_start()
+                        )],
+                    ));
+                    edits.push(SpanEdit::insert_before(
+                        main.line,
+                        vec![format!("{site_indent}let _ = _join_handle.join();")],
+                    ));
+                    note =
+                        format!("spawn at line {spawn_line} discards its handle; bind it to join");
+                }
+            }
+        }
+    }
+    Classified {
+        pattern: "order-by-join",
+        title: format!(
+            "join the spawned task before the main-thread access at {}",
+            main.text
+        ),
+        note,
+        basis,
+        edits,
+        anchor_file: main.file.clone(),
+        anchor_line: main.line,
+    }
+}
+
+fn wrap_in_mutex(
+    a: &Endpoint<'_>,
+    b: &Endpoint<'_>,
+    pair: Option<&StaticPair>,
+    basis: f64,
+    read_source: &mut dyn FnMut(&str) -> Option<String>,
+) -> Classified {
+    let receiver = pair
+        .map(|p| p.receiver.clone())
+        .or_else(|| a.site.map(|s| s.receiver.clone()))
+        .unwrap_or_else(|| "shared".to_string());
+    let anchor = a;
+    let mut edits = Vec::new();
+    let mut note = String::new();
+    if let Some(src) = read_source(&anchor.file) {
+        // New mutex next to the receiver's constructor, one guard
+        // acquisition before each racing site in this file.
+        let ctor = scan_up(&src, anchor.line, |t| {
+            let t = t.trim_start();
+            t.starts_with(&format!("let {receiver} "))
+                || t.starts_with(&format!("let {receiver}="))
+                || t.starts_with(&format!("let mut {receiver} "))
+                || t.starts_with(&format!("let mut {receiver}="))
+        })
+        .or_else(|| {
+            let first_let = format!("let {receiver}");
+            src.lines()
+                .enumerate()
+                .map(|(i, t)| (i as u32 + 1, t))
+                .find(|(_, t)| t.trim_start().starts_with(&first_let))
+        });
+        if let Some((ctor_line, ctor_text)) = ctor {
+            let indent = indent_of(ctor_text);
+            edits.push(SpanEdit::insert_before(
+                ctor_line + 1,
+                vec![format!("{indent}let {receiver}_mu = TsvdMutex::new(());")],
+            ));
+            note = format!("`{receiver}` constructed at line {ctor_line} with no guard anywhere");
+        }
+        let mut site_lines: Vec<u32> = [a, b]
+            .iter()
+            .filter(|e| e.file == anchor.file && e.line > 0)
+            .map(|e| e.line)
+            .collect();
+        site_lines.sort_unstable();
+        site_lines.dedup();
+        for line in site_lines {
+            if let Some(text) = line_text(&src, line) {
+                let indent = indent_of(text);
+                edits.push(SpanEdit::insert_before(
+                    line,
+                    vec![format!("{indent}let _g = {receiver}_mu.lock();")],
+                ));
+            }
+        }
+    }
+    Classified {
+        pattern: "wrap-in-mutex",
+        title: format!("serialize accesses to `{receiver}` behind a new mutex"),
+        note,
+        basis,
+        edits,
+        anchor_file: anchor.file.clone(),
+        anchor_line: anchor.line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_site_text_parses_and_rejects() {
+        assert_eq!(
+            split_site_text("a/b.rs:12:7"),
+            Some(("a/b.rs".to_string(), 12, 7))
+        );
+        assert_eq!(split_site_text("garbage"), None);
+        assert_eq!(split_site_text(":1:2"), None);
+    }
+
+    #[test]
+    fn pattern_factors_are_graded() {
+        assert!(pattern_factor("extend-existing-guard") > pattern_factor("wrap-in-mutex"));
+        assert!(pattern_factor("wrap-in-mutex") > pattern_factor("channel-transfer"));
+        assert!(pattern_factor("generic") < pattern_factor("channel-transfer"));
+    }
+}

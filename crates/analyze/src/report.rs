@@ -52,6 +52,11 @@ pub struct StaticSite {
     pub kind: String,
     /// Concurrency region id within the file; 0 is the top level.
     pub region: u32,
+    /// Locks held at the site, as `root:mode` (`cache_lock:exclusive`).
+    /// Empty when the site runs unguarded. The repair pass reads this to
+    /// name the lock an extend-existing-guard fix should reuse.
+    #[serde(default)]
+    pub guards: Vec<String>,
 }
 
 impl StaticSite {
@@ -226,6 +231,63 @@ impl AnalysisReport {
         out
     }
 
+    /// Reconstructs a report from its own JSONL rendering (the inverse of
+    /// [`to_jsonl`](Self::to_jsonl)). Lines that fail to parse — a torn
+    /// tail, a foreign record tag like `score` — are skipped, so `repro
+    /// fix --static` accepts any analyzer report CI uploaded. The summary
+    /// counters are taken from the summary line when present; otherwise
+    /// they are left at their defaults (the record lists still load).
+    pub fn from_jsonl(text: &str) -> AnalysisReport {
+        let mut report = AnalysisReport::default();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let Ok(Value::Object(m)) = serde_json::from_str::<Value>(line) else {
+                continue;
+            };
+            let record = match m.get("record") {
+                Some(Value::Str(s)) => s.as_str(),
+                _ => continue,
+            };
+            let value = Value::Object(m.clone());
+            match record {
+                "summary" => {
+                    if let Some(Value::UInt(n)) = m.get("files_scanned") {
+                        report.files_scanned = *n as u32;
+                    }
+                    if let Some(Value::UInt(n)) = m.get("files_skipped") {
+                        report.files_skipped = *n as u32;
+                    }
+                }
+                "warning" => {
+                    if let Some(Value::Str(msg)) = m.get("message") {
+                        report.warnings.push(msg.clone());
+                    }
+                }
+                "escape" => {
+                    if let Ok(e) = <Escape as Deserialize>::from_value(&value) {
+                        report.escapes.push(e);
+                    }
+                }
+                "site" => {
+                    if let Ok(s) = <StaticSite as Deserialize>::from_value(&value) {
+                        report.sites.push(s);
+                    }
+                }
+                "pair" => {
+                    if let Ok(p) = <StaticPair as Deserialize>::from_value(&value) {
+                        report.pairs.push(p);
+                    }
+                }
+                "pruned_pair" => {
+                    if let Ok(p) = <StaticPair as Deserialize>::from_value(&value) {
+                        report.pruned_pairs.push(p);
+                    }
+                }
+                _ => {}
+            }
+        }
+        report
+    }
+
     /// The human-facing rendering printed by `repro analyze`.
     pub fn render_human(&self) -> String {
         let mut out = String::new();
@@ -320,6 +382,7 @@ mod tests {
                 method: "set".into(),
                 kind: "write".into(),
                 region: 1,
+                guards: Vec::new(),
             }],
             pairs: vec![StaticPair {
                 first: "a.rs:5:7".into(),
@@ -394,6 +457,20 @@ mod tests {
         }
         assert!(jsonl.contains("escape"));
         assert!(jsonl.contains("pair"));
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_from_jsonl() {
+        let original = sample();
+        let mut jsonl = original.to_jsonl();
+        // A foreign trailing record and a torn tail must both be ignored.
+        jsonl.push_str("{\"record\": \"score\", \"precision\": 1.0}\n{\"record\": \"sit");
+        let back = AnalysisReport::from_jsonl(&jsonl);
+        assert_eq!(back.files_scanned, original.files_scanned);
+        assert_eq!(back.escapes, original.escapes);
+        assert_eq!(back.sites, original.sites);
+        assert_eq!(back.pairs, original.pairs);
+        assert_eq!(back.pruned_pairs, original.pruned_pairs);
     }
 
     #[test]

@@ -238,6 +238,12 @@ impl ScoreReport {
              precision {:.4}, recall {:.4}\n",
             self.emitted, self.dynamic_total, self.precision, self.recall
         );
+        if self.dynamic_total == 0 {
+            out.push_str(
+                "note: dynamic side is empty (no outcomes, or every sink line was torn); \
+                 recall is vacuous\n",
+            );
+        }
         for (name, rule) in &self.rules {
             out.push_str(&format!(
                 "rule {name}: {} emitted, {} confirmed, precision {:.4}\n",
@@ -306,7 +312,10 @@ impl ScoreReport {
                 self.precision, baseline.precision
             ));
         }
-        if self.recall + EPS < baseline.recall {
+        // An empty dynamic side makes recall vacuous, not zero-and-failing:
+        // a sink with no outcomes (or all torn lines) means there was
+        // nothing to recall, so the floor cannot meaningfully apply.
+        if self.dynamic_total > 0 && self.recall + EPS < baseline.recall {
             return Err(format!(
                 "recall regressed: {:.4} < baseline {:.4}",
                 self.recall, baseline.recall
@@ -423,10 +432,51 @@ mod tests {
     }
 
     #[test]
+    fn empty_dynamic_sink_scores_zero_recall_without_failing() {
+        // Satellite regression: an empty or all-torn sink must produce a
+        // well-formed scoreboard (zero recall, no division blow-up) and
+        // must not trip the recall floor — there was nothing to recall.
+        let dir = std::env::temp_dir().join(format!("tsvd_score_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let dyn_path = dir.join("empty.jsonl");
+        // Every line torn or non-JSON: the joiner sees zero outcomes.
+        std::fs::write(
+            &dyn_path,
+            "{\"location_trapped\": \"a.rs:1:1\", \"location_hi\ngarbage\n\n",
+        )
+        .expect("write");
+        let outcomes = load_outcomes(&dyn_path).expect("torn sink must load");
+        assert!(outcomes.is_empty());
+
+        let kept = vec![cand("a.rs:1:1", "a.rs:2:2", "cross-task")];
+        let report = score(&kept, &[], &outcomes);
+        assert_eq!(report.dynamic_total, 0);
+        assert_eq!(report.recall, 0.0);
+        assert_eq!(report.precision, 0.0);
+        assert!(report.render_human().contains("recall is vacuous"));
+        // The recall floor is vacuous with no dynamic pairs; precision
+        // still gates normally.
+        assert!(report
+            .check_baseline(&Baseline {
+                precision: 0.0,
+                recall: 0.9
+            })
+            .is_ok());
+        assert!(report
+            .check_baseline(&Baseline {
+                precision: 0.5,
+                recall: 0.0
+            })
+            .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn baseline_gate_detects_regressions() {
         let report = ScoreReport {
             precision: 0.5,
             recall: 0.75,
+            dynamic_total: 4,
             ..ScoreReport::default()
         };
         assert!(report

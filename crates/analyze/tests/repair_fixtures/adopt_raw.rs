@@ -1,0 +1,10 @@
+//! Planted bug: a raw std map shared with a spawned task — the detector
+//! never sees these accesses. Expected fix: adopt-safe-collection.
+use std::collections::HashMap;
+use tsvd_tasks::Pool;
+
+pub fn blind_spot(pool: &Pool) {
+    let mut cache = HashMap::new();
+    cache.insert(1, 2);
+    pool.spawn(move || drop(cache));
+}

@@ -1,0 +1,14 @@
+//! Planted bug: the sender keeps mutating the dictionary after handing a
+//! clone over the channel. Expected fix: channel-transfer (move the
+//! post-send access above the transfer).
+use tsvd_collections::Dictionary;
+use tsvd_tasks::Pool;
+
+pub fn handoff(pool: &Pool) {
+    let d = Dictionary::new();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let d1 = d.clone();
+    pool.spawn(move || d1.set(1, 1));
+    tx.send(d.clone()).ok();
+    d.set(2, 2);
+}

@@ -1,0 +1,20 @@
+//! Planted bug: one side takes the lock, the other does not.
+//! Expected fix: extend-existing-guard (reuse `lock` on the bare side).
+use tsvd_collections::Dictionary;
+use tsvd_tasks::sync::TsvdMutex;
+use tsvd_tasks::Pool;
+
+pub fn half_locked(pool: &Pool) {
+    let table = Dictionary::new();
+    let lock = TsvdMutex::new(0u32);
+    let t1 = table.clone();
+    let l1 = lock.clone();
+    let t2 = table.clone();
+    pool.spawn(move || {
+        let g = l1.lock();
+        t1.set(1, 1);
+    });
+    pool.spawn(move || {
+        t2.set(2, 2);
+    });
+}

@@ -1,0 +1,11 @@
+//! Planted bug: the main thread reads while the spawned writer still runs.
+//! Expected fix: order-by-join (join `writer` before the read).
+use tsvd_collections::Dictionary;
+use tsvd_tasks::Pool;
+
+pub fn racy_readback(pool: &Pool) {
+    let shared = Dictionary::new();
+    let w = shared.clone();
+    let writer = pool.spawn(move || w.set(1, 10));
+    shared.len();
+}

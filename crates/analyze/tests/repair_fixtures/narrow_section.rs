@@ -1,0 +1,24 @@
+//! Planted bug: each side holds a *different* lock — the critical sections
+//! never exclude each other. Expected fix: narrow-critical-section (unify
+//! both sides on one lock).
+use tsvd_collections::Dictionary;
+use tsvd_tasks::sync::TsvdMutex;
+use tsvd_tasks::Pool;
+
+pub fn mismatched(pool: &Pool) {
+    let table = Dictionary::new();
+    let first_lock = TsvdMutex::new(0u32);
+    let second_lock = TsvdMutex::new(0u32);
+    let t1 = table.clone();
+    let m1 = first_lock.clone();
+    let t2 = table.clone();
+    let n1 = second_lock.clone();
+    pool.spawn(move || {
+        let g = m1.lock();
+        t1.set(1, 1);
+    });
+    pool.spawn(move || {
+        let g = n1.lock();
+        t2.set(2, 2);
+    });
+}

@@ -1,0 +1,17 @@
+//! Planted bug: two instances of one spawned helper race on the same
+//! materialized call site — a same-location self pair. The repair pass
+//! must handle `first == second` without panicking.
+use tsvd_collections::Dictionary;
+use tsvd_tasks::Pool;
+
+fn bump(d: &Dictionary<u64, u64>, k: u64) {
+    d.set(k, k);
+}
+
+pub fn fan_out(pool: &Pool) {
+    let counts = Dictionary::new();
+    let c1 = counts.clone();
+    let c2 = counts.clone();
+    pool.spawn(move || bump(&c1, 1));
+    pool.spawn(move || bump(&c2, 2));
+}

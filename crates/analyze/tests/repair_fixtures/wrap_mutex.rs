@@ -1,0 +1,13 @@
+//! Planted bug: two tasks hit one dictionary with no guard anywhere.
+//! Expected fix: wrap-in-mutex (serialize behind a new mutex). The clone
+//! chain (`counts` → `c1` → `c2`) must resolve to the root receiver.
+use tsvd_collections::Dictionary;
+use tsvd_tasks::Pool;
+
+pub fn unguarded(pool: &Pool) {
+    let counts = Dictionary::new();
+    let c1 = counts.clone();
+    let c2 = c1.clone();
+    pool.spawn(move || c1.set(1, 1));
+    pool.spawn(move || c2.set(2, 2));
+}

@@ -51,6 +51,7 @@ pub mod sink;
 pub mod site;
 pub mod stats;
 pub mod strategy;
+pub mod suggest;
 pub mod trap;
 pub mod trap_file;
 pub mod trapset;
@@ -66,5 +67,6 @@ pub use runtime::Runtime;
 pub use sink::{DurableSink, ViolationRecord, VIOLATION_SCHEMA_VERSION};
 pub use site::SiteId;
 pub use strategy::{Strategy, SyncEvent};
+pub use suggest::{SuggestionRecord, SUGGESTION_SCHEMA_VERSION};
 pub use trap_file::{PairOrigin, TrapFileData};
 pub use watchdog::{DegradeReason, Watchdog, WorkerRegistration};

@@ -498,6 +498,58 @@ mod tests {
     }
 
     #[test]
+    fn import_budget_arms_identical_sets_across_loads() {
+        // Satellite regression: equal-confidence ties under a finite budget
+        // must arm the same pairs on every load of the same trap file —
+        // including a permuted spelling of it, the shape a fleet merge over
+        // hash-map iteration produces.
+        use crate::trap_file::PairOrigin;
+        let dir =
+            std::env::temp_dir().join(format!("tsvd_import_determinism_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("traps.json");
+
+        let texts: Vec<(String, String)> = (80..86)
+            .map(|n| (site(n).to_string(), site(n + 10).to_string()))
+            .collect();
+        let mut file = TrapFileData::default();
+        for t in &texts {
+            file.push_with_confidence(t.clone(), PairOrigin::Static, 0.5);
+        }
+        file.save(&path).expect("save");
+
+        let armed_set = |data: &TrapFileData| -> Vec<SitePair> {
+            let mut c = config();
+            c.trap_import_budget = 3;
+            let s = Tsvd::new(&c);
+            s.import_trap_file(data);
+            let mut armed: Vec<SitePair> = (0..data.pairs.len())
+                .filter_map(|i| data.pair_at(i))
+                .filter(|&p| s.is_armed(p))
+                .collect();
+            armed.sort();
+            armed
+        };
+
+        let first = armed_set(&TrapFileData::load(&path).expect("load 1"));
+        let second = armed_set(&TrapFileData::load(&path).expect("load 2"));
+        assert_eq!(first.len(), 3, "budget caps the import");
+        assert_eq!(first, second, "two loads must arm identical sets");
+
+        // Same pair set, reversed on-disk order: still the identical set.
+        let mut permuted = TrapFileData::default();
+        for t in texts.iter().rev() {
+            permuted.push_with_confidence(t.clone(), PairOrigin::Static, 0.5);
+        }
+        assert_eq!(
+            armed_set(&permuted),
+            first,
+            "arming must not depend on pair order in the file"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn import_budget_never_caps_dynamic_discovery() {
         let mut c = config();
         c.trap_import_budget = 1;

@@ -155,16 +155,29 @@ impl TrapFileData {
         Some(SitePair::new(SiteId::parse(a)?, SiteId::parse(b)?))
     }
 
-    /// Pair indices ordered for arming: highest confidence first, ties
-    /// broken by file order. Strategies walk this order when a
-    /// `trap_import_budget` caps how many imported pairs they may arm.
+    /// Pair indices ordered for arming: highest confidence first. Ties are
+    /// broken by content, not position — origin first (a near miss actually
+    /// observed at run time outranks a static prediction graded equally),
+    /// then the lexicographic site-pair text. Merged trap files are
+    /// assembled from per-worker maps whose iteration order varies run to
+    /// run; a positional tie-break would arm *different* equal-confidence
+    /// pairs under a finite `trap_import_budget` depending on merge order.
+    /// Content tie-breaks make the armed set a pure function of the file's
+    /// pair set.
     pub fn arming_order(&self) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.pairs.len()).collect();
         order.sort_by(|&a, &b| {
             self.confidence(b)
                 .partial_cmp(&self.confidence(a))
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
+                .then_with(|| {
+                    let rank = |o: PairOrigin| match o {
+                        PairOrigin::Dynamic => 0u8,
+                        PairOrigin::Static => 1u8,
+                    };
+                    rank(self.origin(a)).cmp(&rank(self.origin(b)))
+                })
+                .then_with(|| self.pairs[a].cmp(&self.pairs[b]))
         });
         order
     }
@@ -432,6 +445,79 @@ mod tests {
             (a.confidence(1) - 0.4).abs() < 1e-9,
             "new pair keeps other's"
         );
+    }
+
+    #[test]
+    fn arming_order_ranks_confidence_then_origin_then_pair_text() {
+        let mut data = TrapFileData::default();
+        // Two equal-confidence static pairs pushed in reverse textual
+        // order, one equal-confidence dynamic pair, one lower-confidence
+        // pair pushed first.
+        data.push_with_confidence(
+            ("z.rs:9:1".to_string(), "z.rs:9:2".to_string()),
+            PairOrigin::Static,
+            0.5,
+        );
+        data.push_with_confidence(
+            ("b.rs:2:1".to_string(), "b.rs:2:2".to_string()),
+            PairOrigin::Static,
+            0.8,
+        );
+        data.push_with_confidence(
+            ("a.rs:1:1".to_string(), "a.rs:1:2".to_string()),
+            PairOrigin::Static,
+            0.8,
+        );
+        data.push_with_confidence(
+            ("y.rs:8:1".to_string(), "y.rs:8:2".to_string()),
+            PairOrigin::Dynamic,
+            0.8,
+        );
+        let order = data.arming_order();
+        let ranked: Vec<&str> = order.iter().map(|&i| data.pairs[i].0.as_str()).collect();
+        // 0.8 ties: the dynamic pair first, then statics by pair text;
+        // the 0.5 pair last despite being pushed first.
+        assert_eq!(ranked, vec!["y.rs:8:1", "a.rs:1:1", "b.rs:2:1", "z.rs:9:1"]);
+    }
+
+    #[test]
+    fn arming_order_is_invariant_under_merge_order() {
+        // Satellite regression: the same pair set assembled in different
+        // orders (as a fleet merge over hash-map iteration would) must
+        // produce the identical arming order, so a finite import budget
+        // arms the identical set.
+        let mk = |n: u32, conf: f64, origin: PairOrigin| {
+            let mut d = TrapFileData::default();
+            d.push_with_confidence(
+                (format!("m{n}.rs:{n}:1"), format!("m{n}.rs:{n}:2")),
+                origin,
+                conf,
+            );
+            d
+        };
+        let parts = [
+            mk(1, 0.7, PairOrigin::Static),
+            mk(2, 0.7, PairOrigin::Static),
+            mk(3, 0.7, PairOrigin::Dynamic),
+            mk(4, 0.9, PairOrigin::Static),
+            mk(5, 0.7, PairOrigin::Static),
+        ];
+        let armed_texts = |merge_order: &[usize]| -> Vec<(String, String)> {
+            let mut merged = TrapFileData::default();
+            for &i in merge_order {
+                merged.merge(&parts[i]);
+            }
+            merged
+                .arming_order()
+                .into_iter()
+                .map(|i| merged.pairs[i].clone())
+                .collect()
+        };
+        let forward = armed_texts(&[0, 1, 2, 3, 4]);
+        let reverse = armed_texts(&[4, 3, 2, 1, 0]);
+        let shuffled = armed_texts(&[2, 4, 0, 3, 1]);
+        assert_eq!(forward, reverse);
+        assert_eq!(forward, shuffled);
     }
 
     #[test]

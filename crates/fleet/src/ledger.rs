@@ -409,6 +409,38 @@ pub fn parse_sink_name(name: &str) -> Option<(usize, usize, u32)> {
     Some((wave, index, attempt))
 }
 
+/// Merges every per-execution worker sink in `dir` into one violation
+/// list for downstream consumers (`repro fix` reads this directly).
+/// Files are visited in sorted name order and duplicate pairs are
+/// dropped (a retried module writes the same violation into a fresh
+/// attempt sink), so the merged list is a deterministic function of the
+/// directory contents regardless of filesystem iteration order.
+/// Non-sink-named files and unloadable sinks are skipped — one torn
+/// worker file must not hide the rest of the fleet's catches.
+pub fn merge_sink_dir(dir: &Path) -> std::io::Result<Vec<ViolationRecord>> {
+    let mut names: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name().to_string_lossy().into_owned();
+        if parse_sink_name(&name).is_some() {
+            names.push(name);
+        }
+    }
+    names.sort();
+    let mut seen: HashSet<(String, String)> = HashSet::new();
+    let mut merged = Vec::new();
+    for name in names {
+        let Ok(records) = DurableSink::load(&dir.join(&name)) else {
+            continue;
+        };
+        for r in records {
+            if seen.insert(r.pair_key()) {
+                merged.push(r);
+            }
+        }
+    }
+    Ok(merged)
+}
+
 /// Checks every fleet invariant a finished (or killed) run must uphold:
 ///
 /// 1. exactly one start event, and a finished run resolves every
@@ -584,6 +616,53 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("tsvd_ledger_{tag}_{}", std::process::id()));
         std::fs::create_dir_all(&dir).expect("mkdir");
         dir
+    }
+
+    fn vrec(a: &str, b: &str) -> ViolationRecord {
+        ViolationRecord {
+            schema: 1,
+            location_trapped: a.to_string(),
+            location_hitter: b.to_string(),
+            op_trapped: "Dictionary.set".into(),
+            op_hitter: "Dictionary.get".into(),
+            obj: 7,
+            time_ns: 1,
+            read_write: true,
+        }
+    }
+
+    #[test]
+    fn merge_sink_dir_dedupes_and_ignores_foreign_files() {
+        let dir = temp_dir("merge_sinks");
+        let write_sink = |name: &str, records: &[ViolationRecord]| {
+            let sink = DurableSink::create(&dir.join(name), false).expect("create");
+            for r in records {
+                sink.append_record(r).expect("append");
+            }
+        };
+        write_sink("w0_m1_a0.jsonl", &[vrec("a.rs:1:1", "a.rs:2:2")]);
+        // A retry re-caught the same pair, plus a fresh one.
+        write_sink(
+            "w0_m1_a1.jsonl",
+            &[vrec("a.rs:1:1", "a.rs:2:2"), vrec("b.rs:3:3", "b.rs:4:4")],
+        );
+        write_sink("w1_m2_a0.jsonl", &[vrec("c.rs:5:5", "c.rs:6:6")]);
+        // Non-sink files in the directory must be skipped, not parsed.
+        std::fs::write(dir.join("ledger.jsonl"), "{\"ev\": \"start\"}\n").expect("write");
+        std::fs::write(dir.join("notes.txt"), "not a sink").expect("write");
+
+        let merged = merge_sink_dir(&dir).expect("merge");
+        let keys: Vec<(String, String)> = merged.iter().map(|r| r.pair_key()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                normalize_pair("a.rs:1:1", "a.rs:2:2"),
+                normalize_pair("b.rs:3:3", "b.rs:4:4"),
+                normalize_pair("c.rs:5:5", "c.rs:6:6"),
+            ],
+            "sorted file order, duplicates dropped"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

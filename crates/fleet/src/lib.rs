@@ -32,7 +32,7 @@ pub mod wire;
 pub mod worker;
 
 pub use chaos::{ChaosPlan, FaultDecision, CHAOS_ENV};
-pub use ledger::{replay, verify, Ledger, LedgerEvent, LedgerState, VerifySummary};
+pub use ledger::{merge_sink_dir, replay, verify, Ledger, LedgerEvent, LedgerState, VerifySummary};
 pub use runner::{DetectorKind, ModuleOutcome, ModuleRun, RunOptions, SuiteOutcome};
 pub use suites::SuiteSpec;
 pub use supervisor::{run_fleet, FleetError, FleetOptions, FleetReport};

@@ -20,6 +20,8 @@ fn usage() -> ! {
          \x20      repro analyze [--root DIR] [--allowlist FILE] [--jsonl FILE] \
          [--emit-traps FILE] [--deny-escapes]\n\
          \x20      repro analyze --score STATIC DYNAMIC [--baseline FILE] [--jsonl FILE]\n\
+         \x20      repro fix --report SINK [--root DIR] [--static FILE] [--jsonl FILE] \
+         [--baseline FILE]\n\
          \x20      repro fleet [--modules N] [--workers N] [--waves N] [--seed N] [--scale F] \
          [--threads N] [--deadline-ms N] [--suite SPEC] [--ledger FILE] [--sink-dir DIR] \
          [--chaos SEED] [--resume LEDGER] [--compare] [--quiet]\n\
@@ -362,6 +364,154 @@ fn run_analyze_cmd(args: &[String]) -> ! {
     std::process::exit(0);
 }
 
+/// `repro fix --report SINK`: static fix inference over confirmed TSVs.
+///
+/// Joins each dynamic violation from a durable sink (a single JSONL file,
+/// or a fleet sink directory of `w*_m*_a*.jsonl` files which is merged and
+/// deduplicated first) against the static site database, classifies the
+/// pair into a fix pattern, and prints ranked span-anchored suggestions
+/// rendered as unified diffs. Suggestions are never applied. The static
+/// side comes from `--static FILE` (an analyzer JSONL report) or from
+/// scanning `--root DIR` (default `.`). With `--baseline FILE` the emitted
+/// suggestions must match the recorded ones exactly. Exit codes: 0 ok,
+/// 1 baseline mismatch, 2 usage or I/O error.
+fn run_fix_cmd(args: &[String]) -> ! {
+    let mut report_path: Option<std::path::PathBuf> = None;
+    let mut root = std::path::PathBuf::from(".");
+    let mut static_path: Option<std::path::PathBuf> = None;
+    let mut jsonl_path: Option<std::path::PathBuf> = None;
+    let mut baseline_path: Option<std::path::PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            usage()
+        };
+        let path = std::path::PathBuf::from(value);
+        match flag {
+            "--report" => report_path = Some(path),
+            "--root" => root = path,
+            "--static" => static_path = Some(path),
+            "--jsonl" => jsonl_path = Some(path),
+            "--baseline" => baseline_path = Some(path),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    let Some(report_path) = report_path else {
+        usage()
+    };
+
+    let violations = if report_path.is_dir() {
+        match tsvd_fleet::merge_sink_dir(&report_path) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!(
+                    "repro fix: cannot merge sink dir {}: {e}",
+                    report_path.display()
+                );
+                std::process::exit(2);
+            }
+        }
+    } else {
+        match tsvd_core::DurableSink::load(&report_path) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("repro fix: cannot read sink {}: {e}", report_path.display());
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let static_report = match &static_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(text) => tsvd_analyze::AnalysisReport::from_jsonl(&text),
+            Err(e) => {
+                eprintln!("repro fix: cannot read static report {}: {e}", p.display());
+                std::process::exit(2);
+            }
+        },
+        None => match tsvd_analyze::analyze_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("repro fix: cannot scan {}: {e}", root.display());
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let suggestions = tsvd_analyze::repair::infer(&static_report, &violations, &root);
+    println!(
+        "fix suggestions: {} (from {} violation record(s))",
+        suggestions.len(),
+        violations.len()
+    );
+    for (rank, s) in suggestions.iter().enumerate() {
+        println!(
+            "\n[{}] {} (confidence {:.4}) {}:{}",
+            rank + 1,
+            s.pattern,
+            s.confidence,
+            s.file,
+            s.line
+        );
+        println!("    {}", s.title);
+        println!("    {}", s.rationale);
+        if s.diff.is_empty() {
+            println!("    (no diff rendered)");
+        } else {
+            for line in s.diff.lines() {
+                println!("    {line}");
+            }
+        }
+    }
+
+    if let Some(p) = &jsonl_path {
+        if let Err(e) = tsvd_core::suggest::save(&suggestions, p) {
+            eprintln!("repro fix: cannot write {}: {e}", p.display());
+            std::process::exit(2);
+        }
+        println!("\n[suggestions: {}]", p.display());
+    }
+
+    let mut failed = false;
+    if let Some(p) = &baseline_path {
+        let expected = match tsvd_core::suggest::load(p) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("repro fix: cannot read baseline {}: {e}", p.display());
+                std::process::exit(2);
+            }
+        };
+        let render = |r: &tsvd_core::SuggestionRecord| serde_json::to_string(r).unwrap_or_default();
+        let got: Vec<String> = suggestions.iter().map(render).collect();
+        let want: Vec<String> = expected.iter().map(render).collect();
+        if got == want {
+            println!(
+                "\n[baseline ok: {} suggestion(s) match exactly]",
+                want.len()
+            );
+        } else {
+            failed = true;
+            eprintln!(
+                "repro fix: suggestions diverge from baseline {} ({} emitted vs {} recorded)",
+                p.display(),
+                got.len(),
+                want.len()
+            );
+            for idx in 0..got.len().max(want.len()) {
+                let g = got.get(idx).map(String::as_str).unwrap_or("<missing>");
+                let w = want.get(idx).map(String::as_str).unwrap_or("<missing>");
+                if g != w {
+                    eprintln!("  first mismatch at [{idx}]:\n    emitted:  {g}\n    recorded: {w}");
+                    break;
+                }
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 /// `repro analyze --score STATIC DYNAMIC`: the precision scoreboard.
 ///
 /// Joins static pair candidates (an analyzer JSONL report or a trap file)
@@ -535,6 +685,9 @@ fn main() {
     let Some(which) = args.first() else { usage() };
     if which == "analyze" {
         run_analyze_cmd(&args[1..]);
+    }
+    if which == "fix" {
+        run_fix_cmd(&args[1..]);
     }
     if which == "serve" {
         run_serve_cmd(&args[1..]);

@@ -38,9 +38,10 @@ use tsvd_core::access::classify_op;
 use tsvd_core::OpKind;
 
 use crate::callgraph::{call_args, GuardMode, Summaries};
+use crate::hb::{ChanEvent, HbEndpoint, HbEvidence, HbIndex, RegionHb};
 use crate::lexer::{tokenize, TokKind, Token};
 use crate::lockset::LockTracker;
-use crate::report::{site_text, Escape, StaticPair, StaticSite};
+use crate::report::{site_text, AwaitPoint, Escape, StaticPair, StaticSite};
 
 /// Raw (uninstrumented) collection type names worth flagging.
 const RAW_TYPES: &[&str] = &[
@@ -74,8 +75,11 @@ pub struct FileAnalysis {
     pub sites: Vec<StaticSite>,
     /// Dangerous-pair candidates derived from the sites.
     pub pairs: Vec<StaticPair>,
-    /// Candidates removed by lockset pruning (reported, never armed).
+    /// Candidates removed by lockset or happens-before pruning (reported,
+    /// never armed).
     pub pruned_pairs: Vec<StaticPair>,
+    /// `.await` task-boundary markers (see [`crate::hb`]).
+    pub awaits: Vec<AwaitPoint>,
 }
 
 /// Analyzes one file in isolation: a single-file summary set, so
@@ -98,9 +102,19 @@ pub fn analyze_file_with(file: &str, src: &str, summaries: &Summaries) -> FileAn
         out.escapes = find_escapes(file, &toks, &imports, &use_ranges, ev);
     }
     let pass = find_sites(file, &toks, &imports, summaries);
-    let derived = derive_pairs(&pass.sites, &pass.regions, &pass.channeled);
+    let derived = derive_pairs(&pass.sites, &pass.regions, &pass.channeled, &pass.hb);
     out.pairs = derived.kept;
     out.pruned_pairs = derived.pruned;
+    out.awaits = pass
+        .hb
+        .awaits
+        .iter()
+        .map(|&(line, column)| AwaitPoint {
+            file: file.to_string(),
+            line,
+            column,
+        })
+        .collect();
     out.sites = pass.sites.into_iter().map(|s| s.site).collect();
     out
 }
@@ -346,6 +360,10 @@ struct SiteCtx {
     /// Provenance distance: call hops between the binding's constructor
     /// evidence (plus the op's own propagation depth) and the site.
     hops: u32,
+    /// Which `fn` item the site appears in (HB facts are per-function).
+    fn_id: u32,
+    /// Enclosing-brace chain at the site (HB dominance test input).
+    scopes: Vec<u32>,
 }
 
 /// A concurrency region: one spawn-call extent.
@@ -364,6 +382,36 @@ struct SitePass {
     regions: Vec<Region>,
     /// Receiver roots sent through an mpsc channel (ownership transfer).
     channeled: HashSet<String>,
+    /// Happens-before facts gathered during the same walk.
+    hb: HbIndex,
+}
+
+/// One paren-stack entry.
+#[derive(Debug, Clone, Copy)]
+enum Paren {
+    /// A spawn call extent: its body is this concurrency region.
+    Region(u32),
+    /// A `scope(...)` call extent (index into the HB scope list).
+    Scope(usize),
+    /// Any other paren.
+    Plain,
+}
+
+/// The innermost enclosing spawn region, 0 at top level.
+fn ambient_region(parens: &[Paren]) -> u32 {
+    parens
+        .iter()
+        .rev()
+        .find_map(|p| match p {
+            Paren::Region(id) => Some(*id),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+/// The enclosing-brace id chain, outermost first.
+fn scope_chain(braces: &[(u32, bool)]) -> Vec<u32> {
+    braces.iter().map(|&(id, _)| id).collect()
 }
 
 /// What a tracked binding denotes.
@@ -389,12 +437,14 @@ fn find_sites(
         start_tok: 0,
         multi: false,
     });
+    pass.hb.regions.push(RegionHb::default());
     let mut bindings: HashMap<String, Binding> = HashMap::new();
     let mut locks = LockTracker::new();
-    // Paren stack entries: Some(region id) for spawn extents, None otherwise.
-    let mut parens: Vec<Option<u32>> = Vec::new();
-    // Brace stack entries: true for loop bodies.
-    let mut braces: Vec<bool> = Vec::new();
+    let mut parens: Vec<Paren> = Vec::new();
+    // Brace stack entries: (scope id, is-loop-body).
+    let mut braces: Vec<(u32, bool)> = Vec::new();
+    let mut next_scope: u32 = 0;
+    let mut cur_fn: u32 = 0;
     let mut pending_loop = false;
     // One fresh region per (call token, callee file, callee region id), so
     // every op a single call materializes from the same spawned task lands
@@ -406,8 +456,13 @@ fn find_sites(
         match t.kind {
             TokKind::Ident => match t.text.as_str() {
                 "fn" => {
+                    cur_fn += 1;
                     bindings.clear();
                     locks.reset();
+                    pass.hb.on_fn();
+                }
+                "await" if i > 0 && toks[i - 1].is_punct('.') => {
+                    pass.hb.awaits.push((t.line, t.col));
                 }
                 "for" | "while" | "loop" => {
                     // `impl Trait for Type` also uses `for`; a loop keyword
@@ -433,6 +488,13 @@ fn find_sites(
                         &mut locks,
                         braces.len(),
                     );
+                    // A rebinding `let` also retires any spawn handle of
+                    // the same name (the binding the join would resolve to
+                    // is gone). The handle a spawn RHS binds is recorded
+                    // later, at the spawn call's own paren.
+                    if let Some(name) = single_let_name(toks, i) {
+                        pass.hb.forget_handle(&name);
+                    }
                 }
                 _ => {}
             },
@@ -448,7 +510,7 @@ fn find_sites(
                             let method = &toks[i - 1];
                             let op = format!("{}.{}", b.class, method.text);
                             if let Some(kind) = classify_op(&op) {
-                                let region = parens.iter().rev().find_map(|p| *p).unwrap_or(0);
+                                let region = ambient_region(&parens);
                                 let active = locks.active();
                                 pass.sites.push(SiteCtx {
                                     site: StaticSite {
@@ -467,19 +529,57 @@ fn find_sites(
                                     kind,
                                     locks: active,
                                     hops: b.hops,
+                                    fn_id: cur_fn,
+                                    scopes: scope_chain(&braces),
                                 });
                             }
                         }
                         // Channel transfer: `tx.send(x)` hands x's root to
-                        // whoever holds the receiver.
-                        if toks[i - 1].is_ident("send") && locks.is_sender(&toks[i - 3].text) {
-                            if let Some(root) = call_args(toks, i)
-                                .first()
-                                .and_then(|a| a.as_deref())
-                                .and_then(|a| bindings.get(a).map(|b| b.root.clone()))
-                            {
-                                pass.channeled.insert(root);
+                        // whoever holds the receiver. The send itself is an
+                        // HB event on the channel.
+                        if toks[i - 1].is_ident("send") {
+                            if let Some(chan) = locks.sender_channel(&toks[i - 3].text) {
+                                if let Some(root) = call_args(toks, i)
+                                    .first()
+                                    .and_then(|a| a.as_deref())
+                                    .and_then(|a| bindings.get(a).map(|b| b.root.clone()))
+                                {
+                                    pass.channeled.insert(root);
+                                }
+                                pass.hb.sends.push(ChanEvent {
+                                    chan,
+                                    tok: i,
+                                    region: ambient_region(&parens),
+                                    fn_id: cur_fn,
+                                    scopes: scope_chain(&braces),
+                                    in_loop: braces.iter().any(|&(_, l)| l),
+                                });
                             }
+                        }
+                        // A blocking `rx.recv()` is the matching HB event
+                        // (`try_recv` deliberately is not: it can return
+                        // before the send).
+                        if toks[i - 1].is_ident("recv") {
+                            if let Some(chan) = locks.receiver_channel(&toks[i - 3].text) {
+                                pass.hb.recvs.push(ChanEvent {
+                                    chan,
+                                    tok: i,
+                                    region: ambient_region(&parens),
+                                    fn_id: cur_fn,
+                                    scopes: scope_chain(&braces),
+                                    in_loop: braces.iter().any(|&(_, l)| l),
+                                });
+                            }
+                        }
+                        // `h.join()` on a spawn handle seals that region.
+                        if toks[i - 1].is_ident("join") {
+                            pass.hb.on_join(
+                                &toks[i - 3].text,
+                                i,
+                                ambient_region(&parens),
+                                scope_chain(&braces),
+                                braces.iter().any(|&(_, l)| l),
+                            );
                         }
                     }
                     // Spawn call: this paren extent is a new region.
@@ -495,7 +595,7 @@ fn find_sites(
                         _ => false,
                     };
                     if is_spawn {
-                        let in_loop = braces.iter().any(|&l| l);
+                        let in_loop = braces.iter().any(|&(_, l)| l);
                         let multi =
                             in_loop || spawn_ident.is_some_and(|s| MULTI_SPAWN_CALLS.contains(&s));
                         let id = pass.regions.len() as u32;
@@ -503,7 +603,31 @@ fn find_sites(
                             start_tok: i,
                             multi,
                         });
-                        parens.push(Some(id));
+                        pass.hb.regions.push(RegionHb {
+                            start_tok: i,
+                            parent_region: ambient_region(&parens),
+                            fn_id: cur_fn,
+                            multi,
+                            synthetic: false,
+                            scopes: scope_chain(&braces),
+                            handle: None,
+                            join: None,
+                        });
+                        if let Some(name) = spawn_handle(toks, i) {
+                            pass.hb.bind_handle(name, id);
+                        }
+                        parens.push(Paren::Region(id));
+                    } else if spawn_ident == Some("scope") {
+                        // A scoped-thread block: every region spawned inside
+                        // these parens completes at the closing paren.
+                        let sid = pass.hb.open_scope(
+                            i,
+                            ambient_region(&parens),
+                            cur_fn,
+                            scope_chain(&braces),
+                            braces.iter().any(|&(_, l)| l),
+                        );
+                        parens.push(Paren::Scope(sid));
                     } else {
                         // Interprocedural: a plain call to a summarized fn
                         // materializes its wrapper accesses here.
@@ -512,9 +636,9 @@ fn find_sites(
                         if let Some(callee) = spawn_ident.filter(|_| !after_path) {
                             if let Some(sum) = summaries.lookup(file, callee) {
                                 let argv = call_args(toks, i);
-                                let caller_region =
-                                    parens.iter().rev().find_map(|p| *p).unwrap_or(0);
-                                let in_loop = braces.iter().any(|&l| l);
+                                let caller_region = ambient_region(&parens);
+                                let in_loop = braces.iter().any(|&(_, l)| l);
+                                let call_scopes = scope_chain(&braces);
                                 for op in &sum.ops {
                                     let Some(Some(arg)) = argv.get(op.param) else {
                                         continue;
@@ -534,6 +658,19 @@ fn find_sites(
                                                 pass.regions.push(Region {
                                                     start_tok: i,
                                                     multi: op_multi || in_loop,
+                                                });
+                                                // Synthetic: the spawn lives
+                                                // in the callee, so nothing
+                                                // in this file can seal it.
+                                                pass.hb.regions.push(RegionHb {
+                                                    start_tok: i,
+                                                    parent_region: caller_region,
+                                                    fn_id: cur_fn,
+                                                    multi: op_multi || in_loop,
+                                                    synthetic: true,
+                                                    scopes: call_scopes.clone(),
+                                                    handle: None,
+                                                    join: None,
                                                 });
                                                 id
                                             })
@@ -566,18 +703,23 @@ fn find_sites(
                                         kind: op.kind,
                                         locks: site_locks,
                                         hops: b.hops + op.hops + 1,
+                                        fn_id: cur_fn,
+                                        scopes: call_scopes.clone(),
                                     });
                                 }
                             }
                         }
-                        parens.push(None);
+                        parens.push(Paren::Plain);
                     }
                 }
                 Some(b')') => {
-                    parens.pop();
+                    if let Some(Paren::Scope(sid)) = parens.pop() {
+                        pass.hb.close_scope(sid, i);
+                    }
                 }
                 Some(b'{') => {
-                    braces.push(std::mem::take(&mut pending_loop));
+                    braces.push((next_scope, std::mem::take(&mut pending_loop)));
+                    next_scope += 1;
                 }
                 Some(b'}') => {
                     braces.pop();
@@ -588,7 +730,42 @@ fn find_sites(
             _ => {}
         }
     }
+    pass.hb.finalize();
     pass
+}
+
+/// The `let [mut] NAME =` binding a spawn call's return lands in, found by
+/// walking back over the call chain (`pool . spawn`, `tsvd_tasks :: spawn`)
+/// from the spawn call's opening paren — the same binding-reader shape the
+/// repair pass uses, applied at analysis time so joins resolve to regions.
+fn spawn_handle(toks: &[Token], open: usize) -> Option<String> {
+    let mut j = open.checked_sub(1)?; // the spawn ident itself
+    while j > 0 {
+        let p = &toks[j - 1];
+        if p.kind == TokKind::Ident || p.is_punct('.') || p.is_punct(':') {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    // toks[j] is the chain's first token; `=` must sit right before it.
+    if j == 0 || !toks[j - 1].is_punct('=') {
+        return None;
+    }
+    let name_idx = j.checked_sub(2)?;
+    let name = &toks[name_idx];
+    if name.kind != TokKind::Ident {
+        return None;
+    }
+    let mut let_idx = name_idx.checked_sub(1)?;
+    if toks[let_idx].is_ident("mut") {
+        let_idx = let_idx.checked_sub(1)?;
+    }
+    if toks[let_idx].is_ident("let") {
+        Some(name.text.clone())
+    } else {
+        None
+    }
 }
 
 /// Renders held locks as sorted `root:mode` strings for the site database
@@ -852,12 +1029,16 @@ struct DerivedPairs {
 ///   earlier (the spawn has happened; the join may not have).
 ///
 /// Each candidate is then graded: lockset evidence prunes (both sides
-/// exclusively guarded by the same lock) or demotes, provenance hops and
-/// region distance scale the confidence (see DESIGN.md for the formula).
+/// exclusively guarded by the same lock) or demotes; the happens-before
+/// pass prunes provably ordered pairs (`reason: ordered`) and scales the
+/// confidence of pairs with weaker ordering evidence (`hb_evidence`);
+/// provenance hops and region distance scale the confidence further (see
+/// DESIGN.md for the formula).
 fn derive_pairs(
     sites: &[SiteCtx],
     regions: &[Region],
     channeled: &HashSet<String>,
+    hb: &HbIndex,
 ) -> DerivedPairs {
     let mut out = DerivedPairs::default();
     let mut seen: Vec<(String, String)> = Vec::new();
@@ -898,7 +1079,30 @@ fn derive_pairs(
                 continue;
             }
             seen.push(key);
-            let (guard, guard_factor, prune) = guard_evidence(a, b, channeled);
+            let (guard, guard_factor, lock_prune) = guard_evidence(a, b, channeled);
+            // Lockset pruning keeps precedence (it names the serializing
+            // guard); HB only weighs in on pairs the locks let through.
+            let hb_verdict = if lock_prune {
+                HbEvidence::None
+            } else {
+                hb.relate(
+                    &HbEndpoint {
+                        tok: a.tok_index,
+                        region: a.region,
+                        fn_id: a.fn_id,
+                        scopes: &a.scopes,
+                    },
+                    &HbEndpoint {
+                        tok: b.tok_index,
+                        region: b.region,
+                        fn_id: b.fn_id,
+                        scopes: &b.scopes,
+                    },
+                )
+            };
+            let ordered = hb_verdict.is_ordered();
+            let prune = lock_prune || ordered;
+            let reason = if ordered { "ordered" } else { reason };
             let hops = a.hops.max(b.hops);
             let provenance = if hops == 0 {
                 "direct".to_string()
@@ -909,7 +1113,13 @@ fn derive_pairs(
                 0.0
             } else {
                 let distance = 1.0 / (1.0 + 0.1 * (ra as f64 - rb as f64).abs());
-                round4(reason_base(reason) * 0.85f64.powi(hops as i32) * guard_factor * distance)
+                round4(
+                    reason_base(reason)
+                        * 0.85f64.powi(hops as i32)
+                        * guard_factor
+                        * hb_verdict.factor()
+                        * distance,
+                )
             };
             let pair = StaticPair {
                 first,
@@ -922,6 +1132,7 @@ fn derive_pairs(
                 confidence,
                 guard,
                 provenance,
+                hb_evidence: hb_verdict.label(),
             };
             if prune {
                 out.pruned.push(pair);

@@ -119,25 +119,42 @@ impl Summaries {
     /// pairs. `file` must be the same root-relative forward-slash path the
     /// per-file analysis uses — it is embedded in materialized sites.
     pub fn build(files: &[(String, String)]) -> Self {
-        let mut by_name: HashMap<String, Vec<FnSummary>> = HashMap::new();
-        for (file, src) in files {
-            let toks = tokenize(src);
-            let mut i = 0;
-            while i < toks.len() {
-                if toks[i].is_ident("fn")
-                    && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
-                {
-                    if let Some((summary, next)) = parse_fn(file, &toks, i) {
-                        by_name
-                            .entry(summary.name.clone())
-                            .or_default()
-                            .push(summary);
-                        i = next;
-                        continue;
-                    }
+        Self::from_fragments(
+            files
+                .iter()
+                .flat_map(|(file, src)| Self::file_fragments(file, src)),
+        )
+    }
+
+    /// Parses one file's pre-propagation function summaries — the per-file
+    /// unit the incremental cache stores, independent of every other file.
+    pub fn file_fragments(file: &str, src: &str) -> Vec<FnSummary> {
+        let toks = tokenize(src);
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+                if let Some((summary, next)) = parse_fn(file, &toks, i) {
+                    out.push(summary);
+                    i = next;
+                    continue;
                 }
-                i += 1;
             }
+            i += 1;
+        }
+        out
+    }
+
+    /// Assembles a summary set from per-file fragments (fresh or cached)
+    /// and transitively closes it. Propagation is a whole-tree fixed point,
+    /// so it always reruns — only the parse is cacheable per file.
+    pub fn from_fragments(fragments: impl IntoIterator<Item = FnSummary>) -> Self {
+        let mut by_name: HashMap<String, Vec<FnSummary>> = HashMap::new();
+        for summary in fragments {
+            by_name
+                .entry(summary.name.clone())
+                .or_default()
+                .push(summary);
         }
         let mut s = Summaries { by_name };
         s.propagate();

@@ -1,0 +1,678 @@
+//! Static happens-before: per-function ordering facts over the same token
+//! stream the site pass walks.
+//!
+//! The pair deriver in [`analysis`](crate::analysis) asks one question the
+//! lockset cannot answer: can these two accesses *overlap in time at all*?
+//! A spawned body that is joined before the main thread touches the data
+//! again, a scoped-thread block whose closing brace joins every spawn, or
+//! a channel recv that cannot return before the send, all serialize the
+//! pair by construction. Such pairs waste a trap and depress precision.
+//!
+//! The edge kinds, in the order they are tried:
+//!
+//! - **spawn**: everything before a region's spawn call happens-before the
+//!   region body (this has always been implicit in the pair rules — a
+//!   main-thread access *before* the spawn never pairs).
+//! - **join**: `let h = ...spawn(...); h.join();` — the region body
+//!   happens-before everything after the join, in the join's own region.
+//! - **scope**: `scope(|s| { s.spawn(...); ... })` — every region spawned
+//!   inside the scope-call parens completes at the closing paren.
+//! - **channel**: for a channel with exactly one syntactic send and one
+//!   recv (neither in a loop), an access before the send happens-before an
+//!   access after the recv.
+//! - **await points** (`.await`) are recorded as task-boundary markers for
+//!   the report; the threads-only runtime draws no edges from them yet.
+//!
+//! Soundness discipline: a completion event only *orders* a later access
+//! when it **dominates** it — its enclosing-brace chain is a prefix of the
+//! access's chain — so a join inside an `if` or a sibling block never
+//! prunes. Events inside loops never complete anything (a loop iteration
+//! breaks textual-order-equals-program-order). Regions materialized from
+//! interprocedural summaries are never considered sealed: the callee's
+//! spawn is invisible to the caller's joins. When the test fails the pair
+//! is *kept* and only its confidence is scaled (window / partial
+//! evidence); pruning requires the full dominance argument.
+
+use std::collections::HashMap;
+
+/// A directed graph over dense `usize` nodes with BFS reachability.
+///
+/// Used region-to-region: an edge `p -> q` means region `p` provably
+/// completes before region `q` starts. Reachability is reflexive
+/// (`reachable(x, x)` is `true`) and, being plain BFS over an adjacency
+/// list, invariant to the order edges were inserted — the property the
+/// feature-gated proptest pins down.
+#[derive(Debug, Default, Clone)]
+pub struct HbGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl HbGraph {
+    /// A graph with `nodes` nodes and no edges.
+    pub fn new(nodes: usize) -> Self {
+        HbGraph {
+            adj: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Adds a directed edge; out-of-range endpoints are ignored and
+    /// duplicates are harmless.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        if from < self.adj.len() && to < self.adj.len() && !self.adj[from].contains(&to) {
+            self.adj[from].push(to);
+        }
+    }
+
+    /// Whether `to` is reachable from `from` (reflexively).
+    pub fn reachable(&self, from: usize, to: usize) -> bool {
+        if from >= self.adj.len() {
+            return from == to;
+        }
+        self.reach_set(from).contains(&to)
+    }
+
+    /// Every node reachable from `from`, including `from` itself.
+    pub fn reach_set(&self, from: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut queue = vec![from];
+        let mut out = Vec::new();
+        if from < seen.len() {
+            seen[from] = true;
+        }
+        while let Some(n) = queue.pop() {
+            out.push(n);
+            if n < self.adj.len() {
+                for &m in &self.adj[n] {
+                    if !seen[m] {
+                        seen[m] = true;
+                        queue.push(m);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// How a region's completion is sealed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SealKind {
+    /// `handle.join()` on the region's spawn handle.
+    Join(String),
+    /// The closing paren of the enclosing `scope(...)` call.
+    Scope,
+}
+
+/// A join call observed on a region's handle.
+#[derive(Debug, Clone)]
+pub struct JoinEvent {
+    /// Token index of the `(` of `h.join(`.
+    pub tok: usize,
+    /// Ambient region at the join.
+    pub region: u32,
+    /// Enclosing-brace chain at the join (dominance test input).
+    pub scopes: Vec<u32>,
+    /// Whether any enclosing brace is a loop body.
+    pub in_loop: bool,
+}
+
+/// One `scope(...)` call extent.
+#[derive(Debug, Clone)]
+pub struct ScopeExtent {
+    /// Token index of the call's `(`.
+    pub open_tok: usize,
+    /// Token index of the matching `)` (0 while still open).
+    pub close_tok: usize,
+    /// Ambient region at the call.
+    pub region: u32,
+    /// Function the call appears in.
+    pub fn_id: u32,
+    /// Enclosing-brace chain at the call.
+    pub scopes: Vec<u32>,
+    /// Whether any enclosing brace is a loop body.
+    pub in_loop: bool,
+}
+
+/// Per-region happens-before facts, parallel to the site pass's region
+/// vector (index = region id; entry 0 is the implicit top level).
+#[derive(Debug, Clone, Default)]
+pub struct RegionHb {
+    /// Token index of the spawn call's `(`.
+    pub start_tok: usize,
+    /// Ambient region at the spawn.
+    pub parent_region: u32,
+    /// Function the spawn appears in.
+    pub fn_id: u32,
+    /// Whether the region body can run against itself.
+    pub multi: bool,
+    /// Materialized from an interprocedural summary: the spawn lives in a
+    /// callee, so no completion in this file can seal it.
+    pub synthetic: bool,
+    /// Enclosing-brace chain at the spawn.
+    pub scopes: Vec<u32>,
+    /// `let h = ...spawn(...)` binding name, if any.
+    pub handle: Option<String>,
+    /// `h.join()` observed on the handle.
+    pub join: Option<JoinEvent>,
+}
+
+/// One channel endpoint use (`tx.send(` / `rx.recv(`).
+#[derive(Debug, Clone)]
+pub struct ChanEvent {
+    /// Per-function channel id (see [`crate::lockset`]).
+    pub chan: u32,
+    /// Token index of the call's `(`.
+    pub tok: usize,
+    /// Ambient region at the call.
+    pub region: u32,
+    /// Function the call appears in.
+    pub fn_id: u32,
+    /// Enclosing-brace chain at the call.
+    pub scopes: Vec<u32>,
+    /// Whether any enclosing brace is a loop body.
+    pub in_loop: bool,
+}
+
+/// One pair endpoint as the ordering queries see it.
+#[derive(Debug, Clone, Copy)]
+pub struct HbEndpoint<'a> {
+    /// Token index of the access.
+    pub tok: usize,
+    /// Region the access runs in.
+    pub region: u32,
+    /// Function the access appears in.
+    pub fn_id: u32,
+    /// Enclosing-brace chain at the access.
+    pub scopes: &'a [u32],
+}
+
+/// The verdict [`HbIndex::relate`] returns for one pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HbEvidence {
+    /// Provably ordered via a dominating join: prune.
+    OrderedJoin(String),
+    /// Provably ordered via a scope close: prune.
+    OrderedScope,
+    /// Provably ordered via a unique send→recv: prune.
+    OrderedChannel,
+    /// A join on one endpoint's region bounds the overlap window.
+    WindowJoin(String),
+    /// A scope close bounds the overlap window.
+    WindowScope,
+    /// A unique channel links the two regions but the position test failed.
+    ChannelPartial,
+    /// No ordering facts apply.
+    None,
+}
+
+impl HbEvidence {
+    /// Whether the pair is serialized by construction (prune it).
+    pub fn is_ordered(&self) -> bool {
+        matches!(
+            self,
+            HbEvidence::OrderedJoin(_) | HbEvidence::OrderedScope | HbEvidence::OrderedChannel
+        )
+    }
+
+    /// The `hb_evidence` label serialized into reports and trap files.
+    pub fn label(&self) -> String {
+        match self {
+            HbEvidence::OrderedJoin(h) => format!("ordered:join:{h}"),
+            HbEvidence::OrderedScope => "ordered:scope".to_string(),
+            HbEvidence::OrderedChannel => "ordered:channel".to_string(),
+            HbEvidence::WindowJoin(h) => format!("window-join:{h}"),
+            HbEvidence::WindowScope => "window-scope".to_string(),
+            HbEvidence::ChannelPartial => "channel-partial".to_string(),
+            HbEvidence::None => "none".to_string(),
+        }
+    }
+
+    /// Confidence multiplier for kept pairs (ordered pairs are pruned and
+    /// never scored).
+    pub fn factor(&self) -> f64 {
+        match self {
+            HbEvidence::WindowJoin(_) | HbEvidence::WindowScope => 0.95,
+            HbEvidence::ChannelPartial => 0.9,
+            _ => 1.0,
+        }
+    }
+}
+
+/// A region's completion event: the point after which its body has
+/// provably finished.
+#[derive(Debug, Clone)]
+struct Completion {
+    tok: usize,
+    region: u32,
+    scopes: Vec<u32>,
+    kind: SealKind,
+}
+
+/// All happens-before facts of one file, built alongside the site pass and
+/// finalized once the walk ends.
+#[derive(Debug, Default)]
+pub struct HbIndex {
+    /// Per-region facts; index = region id.
+    pub regions: Vec<RegionHb>,
+    /// `scope(...)` call extents.
+    pub scopes: Vec<ScopeExtent>,
+    /// Channel send events.
+    pub sends: Vec<ChanEvent>,
+    /// Channel recv events.
+    pub recvs: Vec<ChanEvent>,
+    /// `.await` task-boundary markers as `(line, column)`.
+    pub awaits: Vec<(u32, u32)>,
+    /// Live spawn-handle bindings of the current function.
+    handles: HashMap<String, u32>,
+    /// Region-level completion graph, built by [`finalize`](Self::finalize).
+    graph: HbGraph,
+}
+
+impl HbIndex {
+    /// An index with the implicit top-level region.
+    pub fn new() -> Self {
+        let mut idx = HbIndex::default();
+        idx.regions.push(RegionHb::default());
+        idx
+    }
+
+    /// Called at each `fn` item boundary: handles are function-local.
+    pub fn on_fn(&mut self) {
+        self.handles.clear();
+    }
+
+    /// Binds a spawn handle name to its region.
+    pub fn bind_handle(&mut self, name: String, region: u32) {
+        if let Some(r) = self.regions.get_mut(region as usize) {
+            r.handle = Some(name.clone());
+        }
+        self.handles.insert(name, region);
+    }
+
+    /// Drops a handle rebound by a `let` with an untracked RHS.
+    pub fn forget_handle(&mut self, name: &str) {
+        self.handles.remove(name);
+    }
+
+    /// Records `name.join()` at `tok` if `name` is a live handle.
+    pub fn on_join(
+        &mut self,
+        name: &str,
+        tok: usize,
+        region: u32,
+        scopes: Vec<u32>,
+        in_loop: bool,
+    ) {
+        let Some(&rid) = self.handles.get(name) else {
+            return;
+        };
+        if let Some(r) = self.regions.get_mut(rid as usize) {
+            if r.join.is_none() {
+                r.join = Some(JoinEvent {
+                    tok,
+                    region,
+                    scopes,
+                    in_loop,
+                });
+            }
+        }
+    }
+
+    /// Opens a `scope(...)` call extent; returns its index for the paren
+    /// stack.
+    pub fn open_scope(
+        &mut self,
+        open_tok: usize,
+        region: u32,
+        fn_id: u32,
+        scopes: Vec<u32>,
+        in_loop: bool,
+    ) -> usize {
+        self.scopes.push(ScopeExtent {
+            open_tok,
+            close_tok: 0,
+            region,
+            fn_id,
+            scopes,
+            in_loop,
+        });
+        self.scopes.len() - 1
+    }
+
+    /// Closes the scope extent opened earlier.
+    pub fn close_scope(&mut self, idx: usize, close_tok: usize) {
+        if let Some(s) = self.scopes.get_mut(idx) {
+            s.close_tok = close_tok;
+        }
+    }
+
+    /// Builds the region completion graph. Call once after the token walk.
+    pub fn finalize(&mut self) {
+        let n = self.regions.len();
+        self.graph = HbGraph::new(n);
+        for p in 1..n {
+            let Some(c) = self.completion(p as u32) else {
+                continue;
+            };
+            for q in 1..n {
+                if p == q {
+                    continue;
+                }
+                let rq = &self.regions[q];
+                if rq.synthetic
+                    || rq.fn_id != self.regions[p].fn_id
+                    || c.region != rq.parent_region
+                    || c.tok >= rq.start_tok
+                    || !is_prefix(&c.scopes, &rq.scopes)
+                {
+                    continue;
+                }
+                self.graph.add_edge(p, q);
+            }
+        }
+    }
+
+    /// The ordering verdict for one pair of endpoints.
+    pub fn relate(&self, a: &HbEndpoint, b: &HbEndpoint) -> HbEvidence {
+        if a.fn_id != b.fn_id || a.region == b.region {
+            // Cross-function sites share no completion events; same-region
+            // pairs are the multi-instance case, where a region's own seal
+            // says nothing about instance overlap.
+            return HbEvidence::None;
+        }
+        if let Some(kind) = self
+            .ordered_before(a, b)
+            .or_else(|| self.ordered_before(b, a))
+        {
+            return match kind {
+                SealKind::Join(h) => HbEvidence::OrderedJoin(h),
+                SealKind::Scope => HbEvidence::OrderedScope,
+            };
+        }
+        if self.channel_ordered(a, b) || self.channel_ordered(b, a) {
+            return HbEvidence::OrderedChannel;
+        }
+        // Kept pair: bounded-window evidence scales confidence. Check the
+        // lower region id first so the verdict is orientation-independent.
+        let mut regions = [a.region, b.region];
+        regions.sort_unstable();
+        let completions: Vec<Completion> = regions
+            .iter()
+            .filter(|&&r| r != 0)
+            .filter_map(|&r| self.completion(r))
+            .collect();
+        for c in &completions {
+            if let SealKind::Join(h) = &c.kind {
+                return HbEvidence::WindowJoin(h.clone());
+            }
+        }
+        if !completions.is_empty() {
+            return HbEvidence::WindowScope;
+        }
+        if self.channel_links(a, b) {
+            return HbEvidence::ChannelPartial;
+        }
+        HbEvidence::None
+    }
+
+    /// Whether everything `x`'s region does provably precedes `y`.
+    fn ordered_before(&self, x: &HbEndpoint, y: &HbEndpoint) -> Option<SealKind> {
+        if x.region == 0 {
+            return None;
+        }
+        // A completion chain from x's region into y's whole region: y runs
+        // strictly after x's region finished.
+        if y.region != 0 && self.graph.reachable(x.region as usize, y.region as usize) {
+            return self.completion(x.region).map(|c| c.kind);
+        }
+        // A completion of x's region (or one it reaches) lands before y in
+        // y's own region and dominates y's position.
+        for q in self.graph.reach_set(x.region as usize) {
+            if q == 0 || q >= self.regions.len() {
+                continue;
+            }
+            if let Some(c) = self.completion(q as u32) {
+                if c.region == y.region && c.tok < y.tok && is_prefix(&c.scopes, y.scopes) {
+                    return Some(c.kind);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether a unique send→recv orders `x` before `y`: `x` precedes the
+    /// send in the send's region, `y` follows the recv (dominated) in the
+    /// recv's region.
+    fn channel_ordered(&self, x: &HbEndpoint, y: &HbEndpoint) -> bool {
+        self.unique_channels(x.fn_id).iter().any(|(send, recv)| {
+            x.region == send.region
+                && x.tok < send.tok
+                && y.region == recv.region
+                && recv.tok < y.tok
+                && is_prefix(&recv.scopes, y.scopes)
+        })
+    }
+
+    /// Whether a unique channel touches both endpoints' regions at all.
+    fn channel_links(&self, a: &HbEndpoint, b: &HbEndpoint) -> bool {
+        self.unique_channels(a.fn_id).iter().any(|(send, recv)| {
+            (a.region == send.region && b.region == recv.region)
+                || (a.region == recv.region && b.region == send.region)
+        })
+    }
+
+    /// Channels of `fn_id` with exactly one send and one recv, neither in
+    /// a loop — the only shape where one syntactic event is one runtime
+    /// event and the recv provably receives that send.
+    fn unique_channels(&self, fn_id: u32) -> Vec<(&ChanEvent, &ChanEvent)> {
+        let mut per_chan: HashMap<u32, (Vec<&ChanEvent>, Vec<&ChanEvent>)> = HashMap::new();
+        for s in self.sends.iter().filter(|e| e.fn_id == fn_id) {
+            per_chan.entry(s.chan).or_default().0.push(s);
+        }
+        for r in self.recvs.iter().filter(|e| e.fn_id == fn_id) {
+            per_chan.entry(r.chan).or_default().1.push(r);
+        }
+        let mut out: Vec<(&ChanEvent, &ChanEvent)> = per_chan
+            .into_values()
+            .filter_map(
+                |(sends, recvs)| match (sends.as_slice(), recvs.as_slice()) {
+                    ([s], [r]) if !s.in_loop && !r.in_loop => Some((sends[0], recvs[0])),
+                    _ => None,
+                },
+            )
+            .collect();
+        out.sort_by_key(|(s, _)| s.tok);
+        out
+    }
+
+    /// The completion event sealing region `r`, if any. Join seals only
+    /// single-instance regions (a loop rebinding the handle joins just the
+    /// last instance); a scope close seals even multi regions (the scope
+    /// joins every spawn inside it).
+    fn completion(&self, r: u32) -> Option<Completion> {
+        let region = self.regions.get(r as usize)?;
+        if region.synthetic || r == 0 {
+            return None;
+        }
+        if !region.multi {
+            if let (Some(join), Some(handle)) = (&region.join, &region.handle) {
+                if !join.in_loop {
+                    return Some(Completion {
+                        tok: join.tok,
+                        region: join.region,
+                        scopes: join.scopes.clone(),
+                        kind: SealKind::Join(handle.clone()),
+                    });
+                }
+            }
+        }
+        // Innermost closed scope extent containing the spawn, same fn.
+        self.scopes
+            .iter()
+            .filter(|s| {
+                s.close_tok != 0
+                    && !s.in_loop
+                    && s.fn_id == region.fn_id
+                    && s.open_tok < region.start_tok
+                    && region.start_tok < s.close_tok
+            })
+            .max_by_key(|s| s.open_tok)
+            .map(|s| Completion {
+                tok: s.close_tok,
+                region: s.region,
+                scopes: s.scopes.clone(),
+                kind: SealKind::Scope,
+            })
+    }
+}
+
+/// Whether `prefix` is a prefix of `chain` — the brace-dominance test: an
+/// event whose enclosing-block chain prefixes an access's chain is on
+/// every control-flow path to that access.
+fn is_prefix(prefix: &[u32], chain: &[u32]) -> bool {
+    chain.len() >= prefix.len() && chain[..prefix.len()] == *prefix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_reachability_is_transitive_and_reflexive() {
+        let mut g = HbGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(g.reachable(0, 2), "transitive");
+        assert!(g.reachable(3, 3), "reflexive");
+        assert!(!g.reachable(2, 0), "directed");
+        assert!(!g.reachable(0, 3));
+        assert_eq!(g.reach_set(0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn graph_tolerates_out_of_range_and_duplicate_edges() {
+        let mut g = HbGraph::new(2);
+        g.add_edge(0, 9);
+        g.add_edge(9, 0);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(g.adj[0], vec![1]);
+        assert!(g.reachable(9, 9), "out-of-range node reaches itself only");
+        assert!(!g.reachable(9, 0));
+    }
+
+    #[test]
+    fn reachability_is_invariant_to_edge_insertion_order() {
+        // Deterministic exhaustive check over every permutation of a small
+        // edge set — the same property the feature-gated proptest samples
+        // at scale (crates/analyze/tests/proptests.rs), but this one runs
+        // in tier-1.
+        let edges = [(0usize, 1usize), (1, 2), (2, 3), (0, 3), (3, 1)];
+        let n = 5;
+        let reference = matrix(&build(n, &edges));
+        permute(&mut edges.to_vec(), 0, &mut |order| {
+            assert_eq!(
+                matrix(&build(n, order)),
+                reference,
+                "insertion order {order:?} changed reachability"
+            );
+        });
+    }
+
+    fn build(n: usize, edges: &[(usize, usize)]) -> HbGraph {
+        let mut g = HbGraph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    fn matrix(g: &HbGraph) -> Vec<Vec<bool>> {
+        (0..g.len())
+            .map(|a| (0..g.len()).map(|b| g.reachable(a, b)).collect())
+            .collect()
+    }
+
+    type Edge = (usize, usize);
+
+    fn permute(items: &mut Vec<Edge>, k: usize, f: &mut dyn FnMut(&[Edge])) {
+        if k == items.len() {
+            f(items);
+            return;
+        }
+        for i in k..items.len() {
+            items.swap(k, i);
+            permute(items, k + 1, f);
+            items.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn is_prefix_matches_dominance_expectations() {
+        assert!(is_prefix(&[], &[1, 2]));
+        assert!(is_prefix(&[1], &[1, 2]));
+        assert!(is_prefix(&[1, 2], &[1, 2]));
+        assert!(!is_prefix(&[1, 2], &[1]));
+        assert!(!is_prefix(&[2], &[1, 2]));
+    }
+
+    #[test]
+    fn join_seals_a_single_instance_region_only() {
+        let mut idx = HbIndex::new();
+        idx.regions.push(RegionHb {
+            start_tok: 10,
+            fn_id: 1,
+            ..RegionHb::default()
+        });
+        idx.bind_handle("h".to_string(), 1);
+        idx.on_join("h", 20, 0, vec![7], false);
+        assert!(idx.completion(1).is_some());
+        idx.regions[1].multi = true;
+        assert!(
+            idx.completion(1).is_none(),
+            "a rebinding loop joins only the last instance"
+        );
+    }
+
+    #[test]
+    fn scope_close_seals_even_multi_regions() {
+        let mut idx = HbIndex::new();
+        idx.regions.push(RegionHb {
+            start_tok: 10,
+            fn_id: 1,
+            multi: true,
+            scopes: vec![7, 8],
+            ..RegionHb::default()
+        });
+        let sid = idx.open_scope(5, 0, 1, vec![7], false);
+        idx.close_scope(sid, 30);
+        let c = idx.completion(1).expect("scope seals multi");
+        assert_eq!(c.kind, SealKind::Scope);
+        assert_eq!(c.tok, 30);
+    }
+
+    #[test]
+    fn synthetic_regions_are_never_sealed() {
+        let mut idx = HbIndex::new();
+        idx.regions.push(RegionHb {
+            start_tok: 10,
+            fn_id: 1,
+            synthetic: true,
+            ..RegionHb::default()
+        });
+        let sid = idx.open_scope(5, 0, 1, vec![7], false);
+        idx.close_scope(sid, 30);
+        assert!(idx.completion(1).is_none());
+    }
+}

@@ -125,6 +125,26 @@ pub fn tokenize(src: &str) -> Vec<Token> {
                     col: tcol,
                 });
             }
+            'r' if is_raw_ident_start(&chars, i) => {
+                // Raw identifier: `r#type`, `r#async` — one ident token
+                // whose text keeps the `r#` prefix (that is how the source
+                // spells the name everywhere else too).
+                let mut text = String::new();
+                text.push(chars[i]);
+                bump!();
+                text.push(chars[i]);
+                bump!();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                toks.push(Token {
+                    kind: TokKind::Ident,
+                    text,
+                    line: tline,
+                    col: tcol,
+                });
+            }
             'r' | 'b' if is_raw_string_start(&chars, i) => {
                 // r"..", r#"..."#, br".." etc.
                 while i < chars.len() && (chars[i] == 'r' || chars[i] == 'b') {
@@ -254,6 +274,17 @@ pub fn tokenize(src: &str) -> Vec<Token> {
     toks
 }
 
+/// Does a raw identifier (`r#ident`) start at `i`? Disjoint from raw
+/// strings: after the single `#` comes an ident start, never a quote (a
+/// raw string is `r#"` / `r##"` — quote or more hashes after the first).
+fn is_raw_ident_start(chars: &[char], i: usize) -> bool {
+    chars[i] == 'r'
+        && chars.get(i + 1) == Some(&'#')
+        && chars
+            .get(i + 2)
+            .is_some_and(|c| c.is_alphabetic() || *c == '_')
+}
+
 /// Does a raw/byte string literal start at `i`? (`r"`, `r#`, `br"`, `b"`.)
 fn is_raw_string_start(chars: &[char], i: usize) -> bool {
     let mut j = i;
@@ -349,6 +380,31 @@ mod tests {
         // the first `"#` inside.
         let src2 = "a r##\"one \"# two\"## b";
         assert_eq!(idents(src2), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_idents() {
+        // `r#type` must not split into `r` / `#` / `type`.
+        assert_eq!(
+            idents("let r#type = 1; r#async.set(1, 2);"),
+            vec!["let", "r#type", "r#async", "set"]
+        );
+        let toks = tokenize("let r#type = 1;");
+        let t = toks.iter().find(|t| t.is_ident("r#type")).expect("raw id");
+        assert_eq!((t.line, t.col), (1, 5), "position of the `r`");
+        assert!(!toks.iter().any(|t| t.is_punct('#')), "no stray hash token");
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_shadow_raw_strings() {
+        // `r#"..."#` (quote after the hash) is still a raw string, and a
+        // raw ident immediately followed by one keeps both tokens intact.
+        let toks = tokenize("r#match r#\"text\"# r\"plain\"");
+        assert_eq!(idents("r#match r#\"text\"# r\"plain\""), vec!["r#match"]);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].text, "text");
+        assert_eq!(strs[1].text, "plain");
     }
 
     #[test]

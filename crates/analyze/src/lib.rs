@@ -35,7 +35,9 @@
 
 pub mod allowlist;
 pub mod analysis;
+pub mod cache;
 pub mod callgraph;
+pub mod hb;
 pub mod lexer;
 pub mod lockset;
 pub mod patch;
@@ -46,20 +48,40 @@ pub mod walk;
 
 use std::collections::HashSet;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 pub use allowlist::{AllowEntry, Allowlist};
 pub use analysis::{analyze_file, analyze_file_with, instrumented_op_literals, FileAnalysis};
+pub use cache::Cache;
 pub use callgraph::Summaries;
 pub use report::{AnalysisReport, Escape, StaticPair, StaticSite};
+
+/// Knobs for the incremental parallel analysis engine. The output is
+/// byte-identical for every combination: thread count only changes which
+/// worker computes a file, the cache only changes whether a file is
+/// computed at all, and results always merge in input-file order.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    /// Worker threads for the per-file pass; `0` or `1` runs inline.
+    pub threads: usize,
+    /// Artifact cache directory; `None` disables caching entirely.
+    pub cache_dir: Option<PathBuf>,
+}
 
 /// Analyzes every `.rs` file under `root` (skipping `target/`, `vendor/`,
 /// and dot-directories). Paths in the report are `root`-relative with
 /// forward slashes.
 pub fn analyze_workspace(root: &Path) -> io::Result<AnalysisReport> {
+    analyze_workspace_with(root, &AnalyzeOptions::default())
+}
+
+/// [`analyze_workspace`] with explicit engine options.
+pub fn analyze_workspace_with(root: &Path, opts: &AnalyzeOptions) -> io::Result<AnalysisReport> {
     let files = walk::rust_files(root)?;
     let rels: Vec<String> = files.iter().map(|f| walk::to_forward_slashes(f)).collect();
-    analyze_paths(root, &rels)
+    analyze_paths_with(root, &rels, opts)
 }
 
 /// Analyzes an explicit list of `root`-relative files. Unreadable or
@@ -67,6 +89,16 @@ pub fn analyze_workspace(root: &Path) -> io::Result<AnalysisReport> {
 /// than failing the whole run — one unparseable path must not hide every
 /// other finding.
 pub fn analyze_paths(root: &Path, files: &[String]) -> io::Result<AnalysisReport> {
+    analyze_paths_with(root, files, &AnalyzeOptions::default())
+}
+
+/// [`analyze_paths`] with explicit engine options: an artifact cache and a
+/// file-level thread pool (see [`AnalyzeOptions`] and [`cache`]).
+pub fn analyze_paths_with(
+    root: &Path,
+    files: &[String],
+    opts: &AnalyzeOptions,
+) -> io::Result<AnalysisReport> {
     let mut report = AnalysisReport::default();
     // Normalize and dedupe first: the same file reachable under two walk
     // roots (or spelled `./a.rs` vs `a.rs`, `a\b.rs` vs `a/b.rs`) must
@@ -86,31 +118,113 @@ pub fn analyze_paths(root: &Path, files: &[String]) -> io::Result<AnalysisReport
             }
         }
     }
-    // Whole-tree function summaries before any per-file pass, so helper
-    // calls resolve across files of the same crate.
-    let summaries = Summaries::build(&sources);
-    for (rel, src) in &sources {
+    let cache = Cache::new(opts.cache_dir.clone());
+    let hashes: Vec<String> = sources
+        .iter()
+        .map(|(_, src)| cache::content_hash(src))
+        .collect();
+    let keyed: Vec<(&str, &str)> = sources
+        .iter()
+        .zip(&hashes)
+        .map(|((rel, _), hash)| (rel.as_str(), hash.as_str()))
+        .collect();
+    let ws_digest = cache::workspace_digest(&keyed);
+    // First pass: take every per-file analysis the cache already holds for
+    // exactly this workspace state. An unchanged workspace hits on every
+    // file here and skips summary construction entirely.
+    let mut analyses: Vec<Option<FileAnalysis>> = sources
+        .iter()
+        .zip(&hashes)
+        .map(|((rel, _), hash)| cache.load_analysis(rel, hash, &ws_digest))
+        .collect();
+    let misses: Vec<usize> = (0..sources.len())
+        .filter(|&i| analyses[i].is_none())
+        .collect();
+    if !misses.is_empty() {
+        // Whole-tree function summaries before any per-file pass, so helper
+        // calls resolve across files of the same crate. Per-file parse
+        // fragments are cache-backed; propagation always reruns (it is
+        // global). Fragments feed in input-file order — propagation's
+        // output ordering, and therefore every downstream byte, depends
+        // only on that order, never on which fragments were cached.
+        let summaries = Summaries::from_fragments(sources.iter().zip(&hashes).flat_map(
+            |((rel, src), hash)| match cache.load_fragments(rel, hash) {
+                Some(fragments) => fragments,
+                None => {
+                    let fragments = Summaries::file_fragments(rel, src);
+                    cache.store_fragments(rel, hash, &fragments);
+                    fragments
+                }
+            },
+        ));
+        let workers = opts.threads.max(1).min(misses.len());
+        if workers <= 1 {
+            for &i in &misses {
+                let (rel, src) = &sources[i];
+                let fa = analysis::analyze_file_with(rel, src, &summaries);
+                cache.store_analysis(rel, &hashes[i], &ws_digest, &fa);
+                analyses[i] = Some(fa);
+            }
+        } else {
+            // File-level fan-out: workers pull indices from a shared
+            // counter and park results in per-file slots. Scheduling
+            // order varies with thread count; the slot vector (indexed by
+            // miss position, not completion order) erases it again.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<FileAnalysis>>> =
+                misses.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&i) = misses.get(k) else { break };
+                        let (rel, src) = &sources[i];
+                        let fa = analysis::analyze_file_with(rel, src, &summaries);
+                        cache.store_analysis(rel, &hashes[i], &ws_digest, &fa);
+                        *slots[k].lock().expect("analysis slot poisoned") = Some(fa);
+                    });
+                }
+            });
+            for (k, &i) in misses.iter().enumerate() {
+                analyses[i] = slots[k].lock().expect("analysis slot poisoned").take();
+            }
+        }
+    }
+    // Merge in input-file order regardless of cache state or which worker
+    // finished first.
+    for fa in analyses.into_iter() {
+        let fa = fa.expect("every source file analyzed");
         report.files_scanned += 1;
-        let fa = analysis::analyze_file_with(rel, src, &summaries);
         report.escapes.extend(fa.escapes);
         report.sites.extend(fa.sites);
         report.pairs.extend(fa.pairs);
         report.pruned_pairs.extend(fa.pruned_pairs);
+        report.awaits.extend(fa.awaits);
     }
     dedupe_pairs(&mut report.pairs);
     dedupe_pairs(&mut report.pruned_pairs);
+    drop_pruned_twins(&mut report.pruned_pairs, &report.pairs);
     Ok(report)
 }
 
-/// Collapses duplicate `(first, second)` site pairs, keeping the highest
-/// confidence (the strongest evidence wins when two paths found the pair).
+/// The orientation-independent identity of a pair: normalized site order.
+fn pair_key(p: &StaticPair) -> (String, String) {
+    if p.first <= p.second {
+        (p.first.clone(), p.second.clone())
+    } else {
+        (p.second.clone(), p.first.clone())
+    }
+}
+
+/// Collapses duplicate site pairs, keeping the highest confidence (the
+/// strongest evidence wins when two paths found the pair). Keys are
+/// orientation-normalized, so the same pair pruned via two different guard
+/// roots — which can surface it in either site order — collapses too.
 fn dedupe_pairs(pairs: &mut Vec<StaticPair>) {
     let mut best: Vec<StaticPair> = Vec::new();
     for p in pairs.drain(..) {
-        match best
-            .iter_mut()
-            .find(|q| q.first == p.first && q.second == p.second)
-        {
+        let key = pair_key(&p);
+        match best.iter_mut().find(|q| pair_key(q) == key) {
             Some(q) => {
                 if p.confidence > q.confidence {
                     *q = p;
@@ -120,6 +234,14 @@ fn dedupe_pairs(pairs: &mut Vec<StaticPair>) {
         }
     }
     *pairs = best;
+}
+
+/// Drops pruned records whose pair also survives in the kept list: a pair
+/// one file's evidence prunes but another path still arms must be reported
+/// once, as kept — a pruned twin would double-count it in the scoreboard.
+fn drop_pruned_twins(pruned: &mut Vec<StaticPair>, kept: &[StaticPair]) {
+    let kept_keys: HashSet<(String, String)> = kept.iter().map(pair_key).collect();
+    pruned.retain(|p| !kept_keys.contains(&pair_key(p)));
 }
 
 #[cfg(test)]
@@ -188,6 +310,110 @@ fn main() {
         .expect("analyze");
         assert_eq!(report.files_scanned, 1, "three spellings, one file");
         assert_eq!(report.pairs.len(), 1, "no duplicate pair");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    const TWIN_HELPERS: &str = "use tsvd_collections::Dictionary;\n\
+         use tsvd_tasks::sync::TsvdMutex;\n\
+         pub fn set_low(d: &Dictionary<u64, u64>, m: &TsvdMutex<u32>) {\n\
+             let g = m.lock();\n\
+             d.set(1, 1);\n\
+         }\n\
+         pub fn set_high(d: &Dictionary<u64, u64>, m: &TsvdMutex<u32>) {\n\
+             let g = m.lock();\n\
+             d.set(2, 2);\n\
+         }\n";
+
+    fn twin_caller(lock: &str, first: &str, second: &str) -> String {
+        format!(
+            "use tsvd_collections::Dictionary;\n\
+             use tsvd_tasks::sync::TsvdMutex;\n\
+             fn run(pool: &Pool) {{\n\
+                 let table = Dictionary::new();\n\
+                 let {lock} = TsvdMutex::new(0u32);\n\
+                 let d1 = table.clone();\n\
+                 let m1 = {lock}.clone();\n\
+                 let d2 = table.clone();\n\
+                 let m2 = {lock}.clone();\n\
+                 pool.spawn(move || {first}(&d1, &m1));\n\
+                 pool.spawn(move || {second}(&d2, &m2));\n\
+             }}\n"
+        )
+    }
+
+    #[test]
+    fn pruned_twins_across_guard_roots_collapse_to_one_record() {
+        // Two caller files prune the *same* helper-site pair under
+        // different lock names — and in opposite call order, so the raw
+        // records carry opposite site orientation. One pruned record must
+        // survive, not one per guard root (the pre-pair_key regression).
+        let dir = std::env::temp_dir().join(format!("tsvd_analyze_twins_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("helpers.rs"), TWIN_HELPERS).expect("write");
+        std::fs::write(
+            dir.join("caller_a.rs"),
+            twin_caller("lock_a", "set_low", "set_high"),
+        )
+        .expect("write");
+        std::fs::write(
+            dir.join("caller_b.rs"),
+            twin_caller("lock_b", "set_high", "set_low"),
+        )
+        .expect("write");
+        let report = analyze_workspace(&dir).expect("analyze");
+        assert!(report.pairs.is_empty(), "every candidate is lock-pruned");
+        assert_eq!(
+            report.pruned_pairs.len(),
+            1,
+            "one record per pair identity, not per guard root / orientation: {:?}",
+            report
+                .pruned_pairs
+                .iter()
+                .map(|p| (&p.first, &p.second, &p.guard))
+                .collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_pair_kept_anywhere_drops_its_pruned_twin() {
+        // caller_a prunes the helper pair (both sides locked); caller_c
+        // reaches the same pair unguarded and keeps it. The merged report
+        // must show the pair once, as kept — a pruned twin would
+        // double-count it in the scoreboard.
+        let dir = std::env::temp_dir().join(format!("tsvd_analyze_keep_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        std::fs::write(dir.join("helpers.rs"), TWIN_HELPERS).expect("write");
+        std::fs::write(
+            dir.join("caller_a.rs"),
+            twin_caller("lock_a", "set_low", "set_high"),
+        )
+        .expect("write");
+        std::fs::write(
+            dir.join("caller_c.rs"),
+            "use tsvd_collections::Dictionary;\n\
+             use tsvd_tasks::sync::TsvdMutex;\n\
+             fn run_free(pool: &Pool) {\n\
+                 let table = Dictionary::new();\n\
+                 let relic = TsvdMutex::new(0u32);\n\
+                 let m0 = relic.clone();\n\
+                 let d1 = table.clone();\n\
+                 let d2 = table.clone();\n\
+                 pool.spawn(move || set_low(&d1, &m0));\n\
+                 pool.spawn(move || set_high(&d2, &m0));\n\
+             }\n",
+        )
+        .expect("write");
+        let report = analyze_workspace(&dir).expect("analyze");
+        let key = |p: &StaticPair| pair_key(p);
+        let kept: Vec<_> = report.pairs.iter().map(key).collect();
+        for p in &report.pruned_pairs {
+            assert!(
+                !kept.contains(&key(p)),
+                "pruned twin of a kept pair survived: {:?}",
+                (&p.first, &p.second)
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -11,12 +11,14 @@
 //!   `let`-bound guards create a region; a temporary like
 //!   `m.lock().push(x)` guards a single expression and is deliberately
 //!   ignored (it cannot span two sites, so it never changes a verdict).
-//! - **Channels**: `let (tx, rx) = channel()` registers the sender;
-//!   `tx.send(x)` marks `x`'s root as channel-transferred, which *demotes*
-//!   (not prunes) pairs on that receiver — ownership transfer usually
-//!   serializes, but the receiver may still alias.
+//! - **Channels**: `let (tx, rx) = channel()` registers both endpoints
+//!   under one per-function channel id; `tx.send(x)` marks `x`'s root as
+//!   channel-transferred, which *demotes* (not prunes) pairs on that
+//!   receiver — ownership transfer usually serializes, but the receiver
+//!   may still alias. The happens-before pass ([`crate::hb`]) additionally
+//!   uses the endpoint ids to draw send→recv ordering edges.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 pub use crate::callgraph::GuardMode;
 use crate::callgraph::LOCK_TYPES;
@@ -39,8 +41,12 @@ pub struct LockTracker {
     /// Lock binding name → root lock name.
     locks: HashMap<String, String>,
     guards: Vec<Guard>,
-    /// Registered mpsc sender binding names.
-    senders: HashSet<String>,
+    /// Registered mpsc sender binding names → channel id.
+    senders: HashMap<String, u32>,
+    /// Registered mpsc receiver binding names → channel id.
+    receivers: HashMap<String, u32>,
+    /// Next per-function channel id.
+    next_channel: u32,
 }
 
 impl LockTracker {
@@ -54,6 +60,8 @@ impl LockTracker {
         self.locks.clear();
         self.guards.clear();
         self.senders.clear();
+        self.receivers.clear();
+        self.next_channel = 0;
     }
 
     /// The locks currently held, strongest mode per root.
@@ -79,7 +87,17 @@ impl LockTracker {
 
     /// Whether `name` is a registered channel sender.
     pub fn is_sender(&self, name: &str) -> bool {
-        self.senders.contains(name)
+        self.senders.contains_key(name)
+    }
+
+    /// Channel id behind a sender binding, if tracked.
+    pub fn sender_channel(&self, name: &str) -> Option<u32> {
+        self.senders.get(name).copied()
+    }
+
+    /// Channel id behind a receiver binding, if tracked.
+    pub fn receiver_channel(&self, name: &str) -> Option<u32> {
+        self.receivers.get(name).copied()
     }
 
     /// Drops guards whose block has closed; `depth` is the brace depth
@@ -92,6 +110,7 @@ impl LockTracker {
     pub fn forget(&mut self, name: &str) {
         self.locks.remove(name);
         self.senders.remove(name);
+        self.receivers.remove(name);
     }
 
     /// Inspects a `let` statement at `let_idx`; returns `true` when it was
@@ -188,7 +207,8 @@ impl LockTracker {
         None
     }
 
-    /// `let (tx, rx) = [mpsc::]channel()` — registers `tx` as a sender.
+    /// `let (tx, rx) = [mpsc::]channel()` — registers `tx` as a sender and
+    /// `rx` as a receiver of the same fresh channel id.
     fn on_channel_let(&mut self, toks: &[Token], open_idx: usize) -> bool {
         let tx = toks.get(open_idx + 1);
         let comma = toks.get(open_idx + 2);
@@ -208,7 +228,10 @@ impl LockTracker {
         let mut i = open_idx + 5;
         while i < toks.len() && !toks[i].is_punct(';') {
             if toks[i].is_ident("channel") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
-                self.senders.insert(tx.text.clone());
+                let id = self.next_channel;
+                self.next_channel += 1;
+                self.senders.insert(tx.text.clone(), id);
+                self.receivers.insert(rx.text.clone(), id);
                 return true;
             }
             i += 1;
@@ -309,6 +332,22 @@ mod tests {
         assert!(!lt.on_let(&toks, lets[1], 0));
         assert!(lt.is_sender("tx"));
         assert!(!lt.is_sender("rx"));
+    }
+
+    #[test]
+    fn channel_endpoints_share_an_id_and_distinct_channels_differ() {
+        let toks = tokenize("let (tx, rx) = mpsc::channel(); let (tx2, rx2) = mpsc::channel();");
+        let mut lt = LockTracker::new();
+        for idx in let_indices(&toks) {
+            assert!(lt.on_let(&toks, idx, 0));
+        }
+        assert_eq!(lt.sender_channel("tx"), Some(0));
+        assert_eq!(lt.receiver_channel("rx"), Some(0));
+        assert_eq!(lt.sender_channel("tx2"), Some(1));
+        assert_eq!(lt.receiver_channel("rx2"), Some(1));
+        assert_eq!(lt.receiver_channel("tx"), None, "tx is not a receiver");
+        lt.forget("rx");
+        assert_eq!(lt.receiver_channel("rx"), None, "shadowed rx is dropped");
     }
 
     #[test]

@@ -199,6 +199,9 @@ pub fn infer(
                 "; static pair: reason {}, guard {}, provenance {}, confidence {:.4}",
                 p.reason, p.guard, p.provenance, p.confidence
             ));
+            if p.hb_evidence != "none" {
+                rationale.push_str(&format!(", hb {}", p.hb_evidence));
+            }
         }
         if !c.note.is_empty() {
             rationale.push_str("; ");
@@ -293,13 +296,35 @@ fn classify(
         g if g.starts_with("both-guarded") => narrow_extend_region(a, b, g, basis, read_source),
         "channel-transfer" => channel_transfer(a, b, basis, read_source),
         _ => {
-            if pair.map(|p| p.reason.as_str()) == Some("main-vs-spawned") {
-                order_by_join(a, b, basis, read_source)
+            // Happens-before evidence steers the ordering patterns: a
+            // channel-ordered pair confirmed dynamically means the
+            // transfer protocol broke (fix the channel discipline); a
+            // join- or scope-ordered one means the assumed completion
+            // edge does not actually cover the access (join properly).
+            let hb = pair.map(|p| p.hb_evidence.as_str()).unwrap_or("none");
+            if hb == "ordered:channel" || hb == "channel-partial" {
+                channel_transfer(a, b, basis, read_source)
+            } else if hb_join_handle(hb).is_some()
+                || hb.starts_with("ordered")
+                || hb == "window-scope"
+                || pair.map(|p| p.reason.as_str()) == Some("main-vs-spawned")
+            {
+                order_by_join(a, b, pair, basis, read_source)
             } else {
                 wrap_in_mutex(a, b, pair, basis, read_source)
             }
         }
     }
+}
+
+/// Extracts the join-handle name from a pair's HB evidence label
+/// (`window-join:<handle>` on kept pairs, `ordered:join:<handle>` on
+/// pruned-then-confirmed ones).
+fn hb_join_handle(evidence: &str) -> Option<&str> {
+    evidence
+        .strip_prefix("window-join:")
+        .or_else(|| evidence.strip_prefix("ordered:join:"))
+        .filter(|h| !h.is_empty())
 }
 
 fn indent_of(line: &str) -> String {
@@ -579,6 +604,7 @@ fn channel_transfer(
 fn order_by_join(
     a: &Endpoint<'_>,
     b: &Endpoint<'_>,
+    pair: Option<&StaticPair>,
     basis: f64,
     read_source: &mut dyn FnMut(&str) -> Option<String>,
 ) -> Classified {
@@ -590,8 +616,21 @@ fn order_by_join(
     };
     let mut edits = Vec::new();
     let mut note = String::new();
+    // The HB pass already resolved which `let` binds the spawn handle;
+    // trust its name over the textual scan when it recorded one.
+    let hb_handle = pair.and_then(|p| hb_join_handle(&p.hb_evidence));
     if let Some(src) = read_source(&main.file) {
-        if let Some((spawn_line, spawn_text)) = scan_up(&src, main.line, |t| t.contains(".spawn("))
+        if let Some(name) = hb_handle {
+            let site_indent = line_text(&src, main.line)
+                .map(indent_of)
+                .unwrap_or_default();
+            edits.push(SpanEdit::insert_before(
+                main.line,
+                vec![format!("{site_indent}let _ = {name}.join();")],
+            ));
+            note = format!("join handle `{name}` identified by the happens-before pass");
+        } else if let Some((spawn_line, spawn_text)) =
+            scan_up(&src, main.line, |t| t.contains(".spawn("))
         {
             let indent = indent_of(spawn_text);
             let site_indent = line_text(&src, main.line)

@@ -97,6 +97,13 @@ pub struct StaticPair {
     /// Receiver provenance: `direct` or `via-calls:<hops>`.
     #[serde(default = "default_provenance")]
     pub provenance: String,
+    /// Happens-before evidence (see [`crate::hb`]): `ordered:join:<h>` /
+    /// `ordered:scope` / `ordered:channel` on pruned pairs,
+    /// `window-join:<h>` / `window-scope` / `channel-partial` on kept pairs
+    /// with a bounded overlap window, `none` otherwise (and on records
+    /// predating the field).
+    #[serde(default = "default_hb_evidence")]
+    pub hb_evidence: String,
 }
 
 fn default_confidence() -> f64 {
@@ -109,6 +116,10 @@ fn default_guard() -> String {
 
 fn default_provenance() -> String {
     "direct".to_string()
+}
+
+fn default_hb_evidence() -> String {
+    "none".to_string()
 }
 
 impl Default for StaticPair {
@@ -124,8 +135,21 @@ impl Default for StaticPair {
             confidence: default_confidence(),
             guard: default_guard(),
             provenance: default_provenance(),
+            hb_evidence: default_hb_evidence(),
         }
     }
+}
+
+/// One `.await` yield point: a task-boundary marker recorded for the async
+/// frontier (no ordering edges are drawn from it yet — see [`crate::hb`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AwaitPoint {
+    /// Analysis-root-relative path.
+    pub file: String,
+    /// 1-based line of the `await` keyword.
+    pub line: u32,
+    /// 1-based column of the `await` keyword.
+    pub column: u32,
 }
 
 /// The full analyzer output for one tree.
@@ -147,9 +171,13 @@ pub struct AnalysisReport {
     /// Dangerous-pair candidates surviving lockset pruning.
     pub pairs: Vec<StaticPair>,
     /// Candidates the lockset analysis pruned (both sides consistently
-    /// behind the same guard); kept for the precision scoreboard.
+    /// behind the same guard) or the happens-before pass proved ordered;
+    /// kept for the precision scoreboard.
     #[serde(default)]
     pub pruned_pairs: Vec<StaticPair>,
+    /// `.await` task-boundary markers found during the walk.
+    #[serde(default)]
+    pub awaits: Vec<AwaitPoint>,
 }
 
 impl AnalysisReport {
@@ -172,7 +200,7 @@ impl AnalysisReport {
         for p in &self.pairs {
             let pair = (p.first.clone(), p.second.clone());
             if !data.pairs.contains(&pair) {
-                data.push_with_confidence(pair, PairOrigin::Static, p.confidence);
+                data.push_full(pair, PairOrigin::Static, p.confidence, &p.hb_evidence);
             }
         }
         data
@@ -196,6 +224,7 @@ impl AnalysisReport {
             "pruned_pairs".to_string(),
             Value::UInt(self.pruned_pairs.len() as u64),
         );
+        summary.insert("awaits".to_string(), Value::UInt(self.awaits.len() as u64));
         summary.insert(
             "files_skipped".to_string(),
             Value::UInt(u64::from(self.files_skipped)),
@@ -222,6 +251,9 @@ impl AnalysisReport {
         }
         for p in &self.pruned_pairs {
             lines.push(tag("pruned_pair", p.to_value()));
+        }
+        for a in &self.awaits {
+            lines.push(tag("await", a.to_value()));
         }
         let mut out = String::new();
         for v in lines {
@@ -282,6 +314,11 @@ impl AnalysisReport {
                         report.pruned_pairs.push(p);
                     }
                 }
+                "await" => {
+                    if let Ok(a) = <AwaitPoint as Deserialize>::from_value(&value) {
+                        report.awaits.push(a);
+                    }
+                }
                 _ => {}
             }
         }
@@ -294,7 +331,7 @@ impl AnalysisReport {
         let blocked = self.unallowlisted_escapes();
         out.push_str(&format!(
             "tsvd-analyze: {} files ({} skipped), {} instrumented sites, \
-             {} pair candidates ({} pruned by lockset), {} escapes ({} blocking)\n",
+             {} pair candidates ({} pruned), {} escapes ({} blocking)\n",
             self.files_scanned,
             self.files_skipped,
             self.sites.len(),
@@ -318,8 +355,13 @@ impl AnalysisReport {
             ));
         }
         for p in &self.pairs {
+            let hb = if p.hb_evidence == "none" {
+                String::new()
+            } else {
+                format!(", hb {}", p.hb_evidence)
+            };
             out.push_str(&format!(
-                "  pair: {} <-> {} on `{}` [{} / {}] ({}, conf {:.4}, guard {}, {})\n",
+                "  pair: {} <-> {} on `{}` [{} / {}] ({}, conf {:.4}, guard {}, {}{})\n",
                 p.first,
                 p.second,
                 p.receiver,
@@ -329,12 +371,24 @@ impl AnalysisReport {
                 p.confidence,
                 p.guard,
                 p.provenance,
+                hb,
             ));
         }
         for p in &self.pruned_pairs {
+            let why = if p.reason == "ordered" {
+                p.hb_evidence.clone()
+            } else {
+                p.guard.clone()
+            };
             out.push_str(&format!(
                 "  pruned: {} <-> {} on `{}` ({})\n",
-                p.first, p.second, p.receiver, p.guard,
+                p.first, p.second, p.receiver, why,
+            ));
+        }
+        for a in &self.awaits {
+            out.push_str(&format!(
+                "  await: {} (task-boundary marker)\n",
+                site_text(&a.file, a.line, a.column)
             ));
         }
         out
@@ -365,6 +419,7 @@ mod tests {
             files_skipped: 0,
             warnings: Vec::new(),
             pruned_pairs: Vec::new(),
+            awaits: Vec::new(),
             escapes: vec![Escape {
                 file: "a.rs".into(),
                 line: 3,

@@ -1,0 +1,121 @@
+//! End-to-end tests for the incremental parallel analysis engine: the
+//! on-disk cache and the thread fan-out must never change the report,
+//! only how fast it is produced.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use tsvd_analyze::{analyze_workspace_with, AnalyzeOptions};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsvd_engine_{}_{}", tag, std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+fn jsonl_with(threads: usize, cache_dir: Option<&Path>) -> String {
+    let opts = AnalyzeOptions {
+        threads,
+        cache_dir: cache_dir.map(|d| d.to_path_buf()),
+    };
+    analyze_workspace_with(&fixture_root(), &opts)
+        .expect("analyze")
+        .to_jsonl()
+}
+
+#[test]
+fn warm_runs_are_byte_identical_and_populate_the_cache() {
+    let cache = scratch("warm");
+    let cold = jsonl_with(1, Some(&cache));
+    let entries: Vec<_> = fs::read_dir(&cache)
+        .expect("cache dir exists after a cold run")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    assert!(
+        entries.iter().any(|n| n.starts_with("frag-")),
+        "cold run stores fragment entries: {entries:?}"
+    );
+    assert!(
+        entries.iter().any(|n| n.starts_with("file-")),
+        "cold run stores analysis entries: {entries:?}"
+    );
+    let warm = jsonl_with(1, Some(&cache));
+    assert_eq!(cold, warm, "warm output must be byte-identical to cold");
+    fs::remove_dir_all(&cache).ok();
+}
+
+#[test]
+fn thread_count_and_cache_state_never_change_the_output() {
+    let cache = scratch("threads");
+    let reference = jsonl_with(1, None);
+    for threads in [2, 8] {
+        assert_eq!(
+            jsonl_with(threads, None),
+            reference,
+            "uncached, {threads} threads"
+        );
+    }
+    // Cold parallel run against an empty cache, then warm runs at
+    // several widths: all byte-identical to the single-threaded,
+    // uncached reference.
+    assert_eq!(jsonl_with(8, Some(&cache)), reference, "cold, 8 threads");
+    for threads in [1, 4] {
+        assert_eq!(
+            jsonl_with(threads, Some(&cache)),
+            reference,
+            "warm, {threads} threads"
+        );
+    }
+    fs::remove_dir_all(&cache).ok();
+}
+
+#[test]
+fn corrupted_cache_entries_fall_back_to_fresh_analysis() {
+    let cache = scratch("corrupt");
+    let reference = jsonl_with(1, Some(&cache));
+    // Mangle every entry a different way: truncation, garbage bytes,
+    // valid-JSON-wrong-shape. The engine must treat each as a miss.
+    for (style, entry) in fs::read_dir(&cache).expect("read cache").enumerate() {
+        let path = entry.expect("entry").path();
+        match style % 3 {
+            0 => {
+                let text = fs::read_to_string(&path).expect("read entry");
+                fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+            }
+            1 => fs::write(&path, b"\x00\xff not json at all").expect("garbage"),
+            _ => fs::write(&path, "[1, 2, 3]").expect("wrong shape"),
+        }
+    }
+    assert_eq!(
+        jsonl_with(4, Some(&cache)),
+        reference,
+        "a fully corrupted cache degrades to a cold run, not a panic or drift"
+    );
+    // And the run above repaired the cache: a further warm run matches too.
+    assert_eq!(jsonl_with(1, Some(&cache)), reference);
+    fs::remove_dir_all(&cache).ok();
+}
+
+#[test]
+fn stale_schema_entries_are_recomputed() {
+    let cache = scratch("stale");
+    let reference = jsonl_with(1, Some(&cache));
+    for entry in fs::read_dir(&cache).expect("read cache") {
+        let path = entry.expect("entry").path();
+        let text = fs::read_to_string(&path).expect("read entry");
+        // Entries are written compactly, so the version literal is `"schema":N`.
+        fs::write(&path, text.replace("\"schema\":1", "\"schema\":99")).expect("rewrite");
+    }
+    assert_eq!(
+        jsonl_with(1, Some(&cache)),
+        reference,
+        "future-schema entries are ignored, not misparsed"
+    );
+    fs::remove_dir_all(&cache).ok();
+}

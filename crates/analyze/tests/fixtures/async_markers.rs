@@ -1,0 +1,11 @@
+//! Fixture: `.await` points are recorded as task-boundary markers for
+//! the report; the threads-only runtime draws no ordering edges from
+//! them yet, so the lone write produces no pair either way.
+use tsvd_collections::Dictionary;
+
+pub async fn refresh() {
+    let warm = Dictionary::new();
+    let value = fetch(1).await;
+    warm.set(1, value);
+    publish(&warm).await;
+}

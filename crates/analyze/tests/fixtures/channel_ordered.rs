@@ -1,0 +1,18 @@
+//! Fixture: a unique send→recv orders the spawned prologue before the
+//! main thread's post-recv write (planted false candidate, pruned); the
+//! post-send tail has no such edge and stays (channel-partial evidence).
+use tsvd_collections::Dictionary;
+use tsvd_tasks::Pool;
+
+pub fn handoff(pool: &Pool) {
+    let stats = Dictionary::new();
+    let s1 = stats.clone();
+    let (tx, rx) = mpsc::channel();
+    pool.spawn(move || {
+        s1.set(1, 1);
+        tx.send(1);
+        s1.set(2, 2);
+    });
+    rx.recv();
+    stats.set(3, 3);
+}

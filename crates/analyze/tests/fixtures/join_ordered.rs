@@ -1,0 +1,14 @@
+//! Fixture: a joined spawn orders its body before later main accesses.
+//! The post-join write is a planted false candidate the HB pass must
+//! prune; the pre-join write still races (window evidence only).
+use tsvd_collections::Dictionary;
+use tsvd_tasks::Pool;
+
+pub fn join_then_write(pool: &Pool) {
+    let ledger = Dictionary::new();
+    let l1 = ledger.clone();
+    let worker = pool.spawn(move || l1.set(1, 1));
+    ledger.set(2, 2);
+    let _ = worker.join();
+    ledger.set(3, 3);
+}

@@ -1,0 +1,15 @@
+//! Fixture: a scoped-thread block joins every spawn at its closing
+//! paren. The post-scope write is a planted false candidate; the read
+//! inside the scope still races the spawned body (window evidence).
+use tsvd_collections::Dictionary;
+use tsvd_tasks::Pool;
+
+pub fn scope_then_write(pool: &Pool) {
+    let grid = Dictionary::new();
+    let g1 = grid.clone();
+    pool.scope(|s| {
+        s.spawn(move || g1.set(1, 1));
+        grid.get(&1);
+    });
+    grid.set(2, 2);
+}

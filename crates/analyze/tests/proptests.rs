@@ -22,6 +22,43 @@ proptest! {
         }
     }
 
+    /// Happens-before reachability is a pure function of the edge *set*:
+    /// inserting the same edges in any order (with duplicates sprinkled
+    /// in) must produce the identical reachability relation. A determinism
+    /// bedrock for the HB pruning pass — `hb.rs` carries an exhaustive
+    /// small-permutation version of this in tier-1; this one samples much
+    /// larger graphs.
+    #[test]
+    fn hb_reachability_is_invariant_to_edge_insertion_order(
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..40),
+        seed in any::<u64>(),
+    ) {
+        use tsvd_analyze::hb::HbGraph;
+        let n = 12;
+        let build = |order: &[(usize, usize)]| {
+            let mut g = HbGraph::new(n);
+            for &(a, b) in order {
+                g.add_edge(a, b);
+            }
+            (0..n)
+                .map(|a| (0..n).map(|b| g.reachable(a, b)).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        };
+        let reference = build(&edges);
+        // Deterministic shuffle driven by the seed, plus a duplicated edge.
+        let mut shuffled = edges.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        if let Some(&first) = shuffled.first() {
+            shuffled.push(first);
+        }
+        prop_assert_eq!(build(&shuffled), reference);
+    }
+
     /// Rust-ish soup built from the analyzer's trigger words also lexes and
     /// analyzes without panicking — the full front end, not just the lexer.
     #[test]

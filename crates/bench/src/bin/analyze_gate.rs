@@ -1,0 +1,359 @@
+//! CI regression gate for the incremental static-analysis engine.
+//!
+//! `analyze_gate --write BENCH_analyze.json` measures cold (empty cache)
+//! and warm (fully cached) analysis of a deterministic synthetic workspace
+//! and persists the results; `--check BENCH_analyze.json [--quick]`
+//! re-measures and fails (exit 1) if the gated ratios regressed by more
+//! than 15% — or if an absolute invariant no longer holds.
+//!
+//! Raw milliseconds are machine-dependent, so the stored numbers that gate
+//! CI are *normalized*: each mode's time is divided by the same run's cold
+//! single-threaded time. Two invariants are enforced on every run:
+//! - a warm run must be at least [`MIN_WARM_SPEEDUP`]× faster than a cold
+//!   run (the point of caching per-file artifacts at all);
+//! - every measured configuration — cold/warm, any thread count — must
+//!   produce byte-identical JSONL output.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use tsvd_analyze::{analyze_workspace_with, AnalyzeOptions};
+
+/// Minimum cold-time / warm-time ratio, single-threaded. The warm path
+/// skips lexing, summary extraction, propagation, and pair derivation
+/// entirely — it only hashes sources and deserializes cached reports — so
+/// anything below this means the cache stopped short-circuiting the
+/// pipeline.
+const MIN_WARM_SPEEDUP: f64 = 5.0;
+
+/// Allowed growth of a normalized ratio before `--check` fails.
+const REGRESSION_TOLERANCE: f64 = 1.15;
+
+/// Thread counts exercised for the cold run (warm runs are IO-bound and
+/// gate only at 1 thread).
+const COLD_THREADS: &[usize] = &[1, 4];
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Entry {
+    mode: String,
+    threads: u32,
+    millis: f64,
+    /// `millis` ÷ the same run's `cold @ 1 thread` time.
+    normalized: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchFile {
+    schema_version: u32,
+    mode: String,
+    files: u32,
+    /// Cold single-threaded time ÷ warm single-threaded time, re-derived
+    /// and re-gated on every run (must stay ≥ `MIN_WARM_SPEEDUP`).
+    warm_speedup: f64,
+    /// Per-point measurements. `cold @ 1` is 1.0 by construction; the
+    /// other normalized ratios are gated against the stored baseline.
+    entries: Vec<Entry>,
+}
+
+struct Params {
+    files: usize,
+    reps: usize,
+}
+
+/// Deterministic synthetic workspace: `files` source files, each with a
+/// guarded helper, an unguarded spawn pair, and a join-ordered region, so
+/// the cold run exercises the lexer, the interprocedural summary pass, HB
+/// pruning, and pair derivation on every file. Each file additionally
+/// carries a slab of analysis-inert code (guarded single-op helpers that
+/// produce no pairs) so the cold/warm ratio reflects real source files,
+/// where full lexing and summary extraction dwarf the content hash and the
+/// compact cached artifact a warm run replays.
+fn build_workspace(root: &Path, files: usize) {
+    std::fs::create_dir_all(root).expect("mkdir workspace");
+    for i in 0..files {
+        let mut src = format!(
+            "use tsvd_collections::Dictionary;\n\
+             use tsvd_tasks::sync::TsvdMutex;\n\
+             pub fn store_{i}(d: &Dictionary<u64, u64>, m: &TsvdMutex<u32>) {{\n\
+                 let g = m.lock();\n\
+                 d.set({i}, 1);\n\
+             }}\n\
+             fn fan_out_{i}(pool: &Pool) {{\n\
+                 let board = Dictionary::new();\n\
+                 let b1 = board.clone();\n\
+                 let b2 = board.clone();\n\
+                 pool.spawn(move || b1.set(1, {i}));\n\
+                 pool.spawn(move || b2.get(&1));\n\
+                 let ordered = board.clone();\n\
+                 let worker = pool.spawn(move || ordered.set(2, 2));\n\
+                 let _ = worker.join();\n\
+                 board.set(3, {i});\n\
+             }}\n"
+        );
+        for j in 0..80 {
+            src.push_str(&format!(
+                "/// Records sample {j} for unit {i}; the mutex keeps the slot\n\
+                 /// private, so the analyzer summarizes and then discards it.\n\
+                 pub fn sample_{i}_{j}(d: &Dictionary<u64, u64>, m: &TsvdMutex<u32>) {{\n\
+                     let guard = m.lock();\n\
+                     let bucket = ({j}u64).wrapping_mul(31).wrapping_add({i});\n\
+                     let weight = bucket ^ (bucket >> 7) ^ 0x9e37;\n\
+                     let label = \"unit {i} sample {j} checkpoint\";\n\
+                     let _ = label.len() + weight as usize;\n\
+                     d.set(bucket, weight);\n\
+                 }}\n"
+            ));
+        }
+        std::fs::write(root.join(format!("unit_{i:03}.rs")), src).expect("write source");
+    }
+}
+
+/// Best-of-`reps` wall time for one configuration, in milliseconds, plus
+/// the JSONL output (identical across reps by construction — asserted).
+fn measure(root: &Path, cache: Option<&Path>, threads: usize, reps: usize) -> (f64, String) {
+    let opts = AnalyzeOptions {
+        threads,
+        cache_dir: cache.map(|c| c.to_path_buf()),
+    };
+    let mut best = f64::INFINITY;
+    let mut jsonl = String::new();
+    for rep in 0..reps {
+        let start = Instant::now();
+        let report = analyze_workspace_with(root, &opts).expect("analyze");
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        best = best.min(elapsed);
+        let rendered = report.to_jsonl();
+        if rep == 0 {
+            jsonl = rendered;
+        } else {
+            assert_eq!(jsonl, rendered, "repeat run changed the output");
+        }
+    }
+    (best, jsonl)
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tsvd_analyze_gate_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn measure_all(params: &Params, mode: &str) -> BenchFile {
+    let root = fresh_dir("ws");
+    build_workspace(&root, params.files);
+    let cache = fresh_dir("cache");
+
+    let mut entries = Vec::new();
+    let mut outputs: Vec<(String, String)> = Vec::new();
+    let mut record = |label: &str, threads: usize, millis: f64, jsonl: String| {
+        entries.push(Entry {
+            mode: label.to_string(),
+            threads: threads as u32,
+            millis,
+            normalized: 0.0, // filled in below once cold@1 is known
+        });
+        outputs.push((format!("{label} @ {threads}"), jsonl));
+    };
+
+    // Uncached single-threaded reference, then cold (cache-filling) and
+    // warm (all-hit) runs. The cold measurement deletes the cache before
+    // every rep so each rep pays the full pipeline plus the stores.
+    for &threads in COLD_THREADS {
+        let mut best = f64::INFINITY;
+        let mut jsonl = String::new();
+        for rep in 0..params.reps {
+            std::fs::remove_dir_all(&cache).ok();
+            let (ms, out) = measure(&root, Some(&cache), threads, 1);
+            best = best.min(ms);
+            if rep == 0 {
+                jsonl = out;
+            } else {
+                assert_eq!(jsonl, out, "cold repeat changed the output");
+            }
+        }
+        record("cold", threads, best, jsonl);
+    }
+    // The cache is now fully populated by the last cold rep.
+    let (warm_ms, warm_out) = measure(&root, Some(&cache), 1, params.reps);
+    record("warm", 1, warm_ms, warm_out);
+    let (nocache_ms, nocache_out) = measure(&root, None, 1, params.reps);
+    record("uncached", 1, nocache_ms, nocache_out);
+
+    let reference = &outputs[0].1;
+    for (label, out) in &outputs[1..] {
+        assert_eq!(
+            out, reference,
+            "{label} output differs from {}",
+            outputs[0].0
+        );
+    }
+    std::fs::remove_dir_all(&root).ok();
+    std::fs::remove_dir_all(&cache).ok();
+
+    let cold_1 = entries
+        .iter()
+        .find(|e| e.mode == "cold" && e.threads == 1)
+        .map(|e| e.millis)
+        .expect("cold @ 1 measured");
+    for e in &mut entries {
+        e.normalized = e.millis / cold_1;
+        eprintln!(
+            "  {:<9} {} thr: {:>8.2} ms ({:.3}x cold@1)",
+            e.mode, e.threads, e.millis, e.normalized
+        );
+    }
+    let warm = entries
+        .iter()
+        .find(|e| e.mode == "warm" && e.threads == 1)
+        .map(|e| e.millis)
+        .expect("warm @ 1 measured");
+    BenchFile {
+        schema_version: 1,
+        mode: mode.to_string(),
+        files: params.files as u32,
+        warm_speedup: cold_1 / warm,
+        entries,
+    }
+}
+
+/// Machine-independent invariant, enforced on write and check alike.
+fn check_invariants(current: &BenchFile) -> Result<(), String> {
+    let s = current.warm_speedup;
+    if !(s.is_finite() && s >= MIN_WARM_SPEEDUP) {
+        return Err(format!(
+            "warm analysis is only {s:.1}x faster than cold, need >= \
+             {MIN_WARM_SPEEDUP:.0}x: the cache is no longer short-circuiting \
+             the pipeline"
+        ));
+    }
+    eprintln!("invariants: warm run {s:.1}x faster than cold (need {MIN_WARM_SPEEDUP:.0}x)");
+    Ok(())
+}
+
+/// Normalized-ratio comparison against the stored baseline. Only the warm
+/// and parallel-cold ratios can regress meaningfully; `cold @ 1` is the
+/// unit and `uncached @ 1` tracks it by construction, but both are checked
+/// anyway — the loop is uniform and a drifting unit shows up elsewhere.
+fn check_against(stored: &BenchFile, current: &BenchFile) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for base in &stored.entries {
+        let Some(cur) = current
+            .entries
+            .iter()
+            .find(|e| e.mode == base.mode && e.threads == base.threads)
+        else {
+            failures.push(format!(
+                "{} @ {} missing from current run",
+                base.mode, base.threads
+            ));
+            continue;
+        };
+        if cur.normalized > base.normalized * REGRESSION_TOLERANCE {
+            failures.push(format!(
+                "{} @ {} regressed: {:.3}x cold@1 (baseline {:.3}x, tolerance {:.0}%)",
+                base.mode,
+                base.threads,
+                cur.normalized,
+                base.normalized,
+                (REGRESSION_TOLERANCE - 1.0) * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "baseline: {} entries within {:.0}% of stored normalized ratios",
+            stored.entries.len(),
+            (REGRESSION_TOLERANCE - 1.0) * 100.0
+        );
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn write_atomically(path: &str, file: &BenchFile) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(file).expect("bench file serializes");
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, json + "\n")?;
+    std::fs::rename(&tmp, path)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: analyze_gate (--write PATH | --check PATH) [--quick]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut write_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write" => write_path = args.next(),
+            "--check" => check_path = args.next(),
+            "--quick" => quick = true,
+            _ => return usage(),
+        }
+    }
+    let (params, mode) = if quick {
+        (Params { files: 48, reps: 3 }, "quick")
+    } else {
+        (
+            Params {
+                files: 120,
+                reps: 5,
+            },
+            "full",
+        )
+    };
+
+    match (write_path, check_path) {
+        (Some(path), None) => {
+            eprintln!("measuring ({mode} mode) ...");
+            let current = measure_all(&params, mode);
+            if let Err(e) = check_invariants(&current) {
+                eprintln!("REFUSING to write a failing baseline:\n{e}");
+                return ExitCode::FAILURE;
+            }
+            if let Err(e) = write_atomically(&path, &current) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        (None, Some(path)) => {
+            let stored: BenchFile = match std::fs::read_to_string(&path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()))
+            {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("failed to load baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!("measuring ({mode} mode) ...");
+            let current = measure_all(&params, mode);
+            let mut failed = false;
+            if let Err(e) = check_invariants(&current) {
+                eprintln!("INVARIANT FAILURE:\n{e}");
+                failed = true;
+            }
+            if let Err(e) = check_against(&stored, &current) {
+                eprintln!("REGRESSION vs {path}:\n{e}");
+                failed = true;
+            }
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                eprintln!("analyze gate: OK");
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -77,6 +77,15 @@ pub struct TrapFileData {
     /// never gates membership by itself.
     #[serde(default)]
     pub confidences: Vec<f64>,
+    /// Per-pair happens-before evidence label from the static analyzer
+    /// (`window-join:<h>`, `window-scope`, `channel-partial`, ...),
+    /// parallel to `pairs`. May be shorter than `pairs` (files written
+    /// before the field existed carry none); missing entries are `"none"`.
+    /// Purely descriptive today — its confidence effect is already baked
+    /// into `confidences` — but repair classification reads it to name the
+    /// join handle a fix should use.
+    #[serde(default)]
+    pub hb_evidence: Vec<String>,
 }
 
 impl TrapFileData {
@@ -94,6 +103,7 @@ impl TrapFileData {
                 .collect(),
             origins: vec![origin; pairs.len()],
             confidences: Vec::new(),
+            hb_evidence: Vec::new(),
         }
     }
 
@@ -110,6 +120,13 @@ impl TrapFileData {
         self.confidences.get(index).copied().unwrap_or(1.0)
     }
 
+    /// The happens-before evidence label of pair `index`; pairs beyond the
+    /// recorded labels are `"none"` (back-compat with files written before
+    /// the field existed).
+    pub fn hb_evidence(&self, index: usize) -> &str {
+        self.hb_evidence.get(index).map_or("none", String::as_str)
+    }
+
     /// Appends a pair in textual form with its origin.
     pub fn push(&mut self, pair: (String, String), origin: PairOrigin) {
         self.push_with_confidence(pair, origin, 1.0);
@@ -122,10 +139,21 @@ impl TrapFileData {
         origin: PairOrigin,
         confidence: f64,
     ) {
+        self.push_full(pair, origin, confidence, "none");
+    }
+
+    /// Appends a pair with origin, confidence, and happens-before evidence.
+    pub fn push_full(
+        &mut self,
+        pair: (String, String),
+        origin: PairOrigin,
+        confidence: f64,
+        hb: &str,
+    ) {
         // Materialize implicit defaults first so the parallel vectors stay
-        // aligned once a non-default entry appears. Confidences stay lazy
-        // until the first non-1.0 value so purely dynamic files keep their
-        // pre-confidence shape on disk.
+        // aligned once a non-default entry appears. Confidences and HB
+        // labels stay lazy until the first non-default value so purely
+        // dynamic files keep their pre-confidence shape on disk.
         while self.origins.len() < self.pairs.len() {
             self.origins.push(PairOrigin::Dynamic);
         }
@@ -135,16 +163,27 @@ impl TrapFileData {
             }
             self.confidences.push(confidence);
         }
+        if hb != "none" || !self.hb_evidence.is_empty() {
+            while self.hb_evidence.len() < self.pairs.len() {
+                self.hb_evidence.push("none".to_string());
+            }
+            self.hb_evidence.push(hb.to_string());
+        }
         self.pairs.push(pair);
         self.origins.push(origin);
     }
 
     /// Merges `other` into `self`, deduplicating textual pairs. A pair
-    /// present in both keeps `self`'s origin and confidence.
+    /// present in both keeps `self`'s origin, confidence, and evidence.
     pub fn merge(&mut self, other: &TrapFileData) {
         for (i, pair) in other.pairs.iter().enumerate() {
             if !self.pairs.contains(pair) {
-                self.push_with_confidence(pair.clone(), other.origin(i), other.confidence(i));
+                self.push_full(
+                    pair.clone(),
+                    other.origin(i),
+                    other.confidence(i),
+                    other.hb_evidence(i),
+                );
             }
         }
     }
@@ -294,6 +333,7 @@ mod tests {
             ],
             origins: Vec::new(),
             confidences: Vec::new(),
+            hb_evidence: Vec::new(),
         };
         let pairs = data.to_pairs();
         assert_eq!(pairs, vec![SitePair::new(site(20), site(21))]);
@@ -423,6 +463,54 @@ mod tests {
             "merged pre-confidence pair defaults to full trust"
         );
         assert_eq!(target.origin(1), PairOrigin::Static);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hb_evidence_stays_lazy_and_round_trips() {
+        // Default labels never materialize the vector (pre-HB on-disk shape
+        // preserved); the first real label backfills and round-trips.
+        let mut data = TrapFileData::default();
+        data.push_with_confidence(
+            (site(90).to_string(), site(91).to_string()),
+            PairOrigin::Static,
+            0.8,
+        );
+        assert!(data.hb_evidence.is_empty());
+        assert_eq!(data.hb_evidence(0), "none");
+        data.push_full(
+            (site(92).to_string(), site(93).to_string()),
+            PairOrigin::Static,
+            0.6,
+            "window-join:h",
+        );
+        assert_eq!(data.hb_evidence.len(), 2, "backfilled then appended");
+        assert_eq!(data.hb_evidence(0), "none");
+        assert_eq!(data.hb_evidence(1), "window-join:h");
+
+        let dir = std::env::temp_dir().join(format!("tsvd_trapfile_hb_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("traps.json");
+        data.save(&path).expect("save");
+        let loaded = TrapFileData::load(&path).expect("load");
+        assert_eq!(loaded, data);
+        assert_eq!(loaded.hb_evidence(1), "window-join:h");
+
+        // A pre-HB file (no hb_evidence key) loads with "none" everywhere.
+        std::fs::write(
+            &path,
+            r#"{"pairs": [["a.rs:1:1", "b.rs:2:2"]], "origins": ["static"]}"#,
+        )
+        .expect("write");
+        let old = TrapFileData::load(&path).expect("load");
+        assert!(old.hb_evidence.is_empty());
+        assert_eq!(old.hb_evidence(0), "none");
+
+        // Merging carries the label across.
+        let mut target = old.clone();
+        target.merge(&data);
+        assert_eq!(target.pairs.len(), 3);
+        assert_eq!(target.hb_evidence(2), "window-join:h");
         std::fs::remove_dir_all(&dir).ok();
     }
 

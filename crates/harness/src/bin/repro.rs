@@ -18,7 +18,7 @@ fn usage() -> ! {
         "usage: repro <table1|table2|table3|table4|fig8|fig9|fneg|resources|ext|validate|coverage|chaos|all> \
          [--modules N] [--runs N] [--seed N] [--scale F] [--threads N]\n\
          \x20      repro analyze [--root DIR] [--allowlist FILE] [--jsonl FILE] \
-         [--emit-traps FILE] [--deny-escapes]\n\
+         [--emit-traps FILE] [--deny-escapes] [--threads N] [--cache-dir DIR] [--no-cache]\n\
          \x20      repro analyze --score STATIC DYNAMIC [--baseline FILE] [--jsonl FILE]\n\
          \x20      repro fix --report SINK [--root DIR] [--static FILE] [--jsonl FILE] \
          [--baseline FILE]\n\
@@ -283,6 +283,9 @@ fn run_analyze_cmd(args: &[String]) -> ! {
     let mut allowlist_path: Option<std::path::PathBuf> = None;
     let mut jsonl_path: Option<std::path::PathBuf> = None;
     let mut traps_path: Option<std::path::PathBuf> = None;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut no_cache = false;
+    let mut threads = 1usize;
     let mut deny_escapes = false;
     let mut i = 0;
     while i < args.len() {
@@ -291,16 +294,22 @@ fn run_analyze_cmd(args: &[String]) -> ! {
                 deny_escapes = true;
                 i += 1;
             }
-            flag @ ("--root" | "--allowlist" | "--jsonl" | "--emit-traps") => {
+            "--no-cache" => {
+                no_cache = true;
+                i += 1;
+            }
+            flag @ ("--root" | "--allowlist" | "--jsonl" | "--emit-traps" | "--cache-dir"
+            | "--threads") => {
                 let Some(value) = args.get(i + 1) else {
                     usage()
                 };
-                let path = std::path::PathBuf::from(value);
                 match flag {
-                    "--root" => root = path,
-                    "--allowlist" => allowlist_path = Some(path),
-                    "--jsonl" => jsonl_path = Some(path),
-                    _ => traps_path = Some(path),
+                    "--root" => root = std::path::PathBuf::from(value),
+                    "--allowlist" => allowlist_path = Some(std::path::PathBuf::from(value)),
+                    "--jsonl" => jsonl_path = Some(std::path::PathBuf::from(value)),
+                    "--emit-traps" => traps_path = Some(std::path::PathBuf::from(value)),
+                    "--cache-dir" => cache_dir = Some(std::path::PathBuf::from(value)),
+                    _ => threads = value.parse().unwrap_or_else(|_| usage()),
                 }
                 i += 2;
             }
@@ -308,7 +317,18 @@ fn run_analyze_cmd(args: &[String]) -> ! {
         }
     }
 
-    let mut report = match tsvd_analyze::analyze_workspace(&root) {
+    // Artifact cache defaults to `<root>/.tsvd-analyze-cache`; `--no-cache`
+    // disables it, `--cache-dir` relocates it. Thread count and cache state
+    // never change the output bytes (see tsvd_analyze::cache).
+    let opts = tsvd_analyze::AnalyzeOptions {
+        threads,
+        cache_dir: if no_cache {
+            None
+        } else {
+            Some(cache_dir.unwrap_or_else(|| root.join(".tsvd-analyze-cache")))
+        },
+    };
+    let mut report = match tsvd_analyze::analyze_workspace_with(&root, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("repro analyze: cannot scan {}: {e}", root.display());
